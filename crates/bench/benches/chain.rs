@@ -1,0 +1,98 @@
+//! Criterion benchmarks: the blockchain substrate — hashing, Merkle
+//! commitments, U256 arithmetic, and full hash-level lottery/block cycles.
+
+use chain_sim::{
+    target_for_expected_interval, BlockLottery, Engine, Hash256, HashBuilder, MerkleTree,
+    MinerProfile, MlPosEngine, NetworkConfig, NetworkSim, PowEngine, SlPosEngine, U256,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use fairness_stats::rng::Xoshiro256StarStar;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    let data_1k = vec![0xabu8; 1024];
+    group.throughput(Throughput::Bytes(1024));
+    group.bench_function("sha256_1kib", |b| {
+        b.iter(|| black_box(chain_sim::sha256(black_box(&data_1k))));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("u256");
+    let x = U256::from_hex("fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210")
+        .expect("hex");
+    let y = U256::from_u64(0x1234_5678_9abc_def0);
+    // Divisor ≥ multiplier keeps the 512-bit intermediate quotient within
+    // 256 bits (the SL-PoS time-function shape: huge hash × basetime ÷ stake).
+    let divisor = U256::from_u64(u64::MAX);
+    group.bench_function("mul_div_wide", |b| {
+        b.iter(|| black_box(black_box(x).mul_div(black_box(y), black_box(divisor))));
+    });
+    group.bench_function("div_rem", |b| {
+        b.iter(|| black_box(black_box(x).div_rem(black_box(y))));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("merkle");
+    let leaves: Vec<Hash256> = (0..100u64)
+        .map(|i| HashBuilder::new("bench").u64(i).finish())
+        .collect();
+    group.bench_function("build_100_leaves", |b| {
+        b.iter(|| black_box(MerkleTree::build(black_box(&leaves))));
+    });
+    let tree = MerkleTree::build(&leaves);
+    let proof = tree.prove(42);
+    group.bench_function("verify_proof", |b| {
+        b.iter(|| black_box(MerkleTree::verify(&tree.root(), &leaves[42], &proof)));
+    });
+    group.finish();
+}
+
+fn bench_lotteries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_level_lottery");
+    let miners: Vec<MinerProfile> = vec![MinerProfile::new(0, 2), MinerProfile::new(1, 8)];
+    let stakes = vec![200_000u64, 800_000];
+    let prev = Hash256::ZERO;
+    let mut rng = Xoshiro256StarStar::new(5);
+
+    group.bench_function("pow_block", |b| {
+        let engine = PowEngine::new(target_for_expected_interval(10, 4));
+        b.iter(|| black_box(engine.run(&prev, 1, &miners, &stakes, &mut rng)));
+    });
+    group.bench_function("mlpos_block", |b| {
+        let engine = MlPosEngine::for_expected_interval(1_000_000, 16);
+        b.iter(|| black_box(engine.run(&prev, 1, &miners, &stakes, &mut rng)));
+    });
+    group.bench_function("slpos_block", |b| {
+        let engine = SlPosEngine::new(1_000);
+        b.iter(|| black_box(engine.run(&prev, 1, &miners, &stakes, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_sim");
+    group.sample_size(10);
+    group.bench_function("mlpos_100_blocks_end_to_end", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256StarStar::new(7);
+            let mut net = NetworkSim::new(
+                NetworkConfig {
+                    engine: Engine::MlPos(MlPosEngine::for_expected_interval(1_000_000, 16)),
+                    initial_stakes: vec![200_000, 800_000],
+                    hash_rates: vec![],
+                    block_reward: 10_000,
+                    txs_per_block: 4,
+                    propagation_delay: 1,
+                    pow_retarget: None,
+                },
+                &mut rng,
+            );
+            net.run_blocks(100, &mut rng);
+            black_box(net.win_fraction(0))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_lotteries, bench_network);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks: scaling ablations — how simulation cost grows
+//! with miner count and horizon, justifying the figure-scale settings in
+//! DESIGN.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fairness_core::prelude::*;
+
+fn bench_miner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("miners_scaling_500_blocks");
+    group.sample_size(20);
+    for m in [2usize, 5, 10, 50] {
+        let shares = paper_multi_miner(m, 0.2);
+        group.bench_with_input(BenchmarkId::new("mlpos", m), &m, |b, _| {
+            let mut rng = Xoshiro256StarStar::new(m as u64);
+            b.iter(|| {
+                let mut game = MiningGame::new(MlPos::new(0.01), &shares);
+                game.run(500, &mut rng);
+                black_box(game.lambda(0))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("slpos", m), &m, |b, _| {
+            let mut rng = Xoshiro256StarStar::new(m as u64);
+            b.iter(|| {
+                let mut game = MiningGame::new(SlPos::new(0.01), &shares);
+                game.run(500, &mut rng);
+                black_box(game.lambda(0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_horizon_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("horizon_scaling_mlpos");
+    group.sample_size(10);
+    for n in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = Xoshiro256StarStar::new(n);
+            b.iter(|| {
+                let mut game = MiningGame::new(MlPos::new(0.01), &two_miner(0.2));
+                game.run(n, &mut rng);
+                black_box(game.lambda(0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miner_scaling, bench_horizon_scaling);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks: numeric kernels underlying the theory module —
+//! special functions, exact distribution computations and samplers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fairness_core::theory;
+use fairness_stats::dist::{Beta, Binomial, ContinuousDistribution, DiscreteDistribution};
+use fairness_stats::polya::PolyaUrn;
+use fairness_stats::rng::Xoshiro256StarStar;
+use fairness_stats::special::{ln_gamma, reg_inc_beta};
+
+fn bench_special(c: &mut Criterion) {
+    let mut group = c.benchmark_group("special_functions");
+    group.bench_function("ln_gamma", |b| {
+        b.iter(|| black_box(ln_gamma(black_box(20.7))));
+    });
+    group.bench_function("reg_inc_beta", |b| {
+        b.iter(|| black_box(reg_inc_beta(black_box(20.0), black_box(80.0), black_box(0.22))));
+    });
+    group.bench_function("binomial_cdf_n5000", |b| {
+        let bin = Binomial::new(5000, 0.2);
+        b.iter(|| black_box(bin.cdf(black_box(1050))));
+    });
+    group.finish();
+}
+
+fn bench_theory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory");
+    group.bench_function("pow_exact_unfair_n5000", |b| {
+        b.iter(|| black_box(theory::pow::exact_unfair_probability(5000, 0.2, 0.1)));
+    });
+    group.bench_function("mlpos_limit_unfair", |b| {
+        b.iter(|| black_box(theory::mlpos::limit_unfair_probability(0.2, 0.01, 0.1)));
+    });
+    group.bench_function("slpos_win_probs_10_miners", |b| {
+        let stakes: Vec<f64> = (1..=10).map(|i| f64::from(i) / 55.0).collect();
+        b.iter(|| black_box(theory::slpos::win_probabilities(black_box(&stakes))));
+    });
+    group.sample_size(10);
+    group.bench_function("polya_exact_dp_n500", |b| {
+        let urn = PolyaUrn::new(0.2, 0.8, 0.01);
+        b.iter(|| black_box(urn.exact_win_distribution(500)));
+    });
+    group.finish();
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    let mut rng = Xoshiro256StarStar::new(9);
+    group.bench_function("beta_20_80", |b| {
+        let beta = Beta::new(20.0, 80.0);
+        b.iter(|| black_box(beta.sample(&mut rng)));
+    });
+    group.bench_function("binomial_32_02", |b| {
+        let bin = Binomial::new(32, 0.2);
+        b.iter(|| black_box(bin.sample(&mut rng)));
+    });
+    group.bench_function("xoshiro_f64", |b| {
+        b.iter(|| black_box(rng.next_f64()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_special, bench_theory, bench_samplers);
+criterion_main!(benches);

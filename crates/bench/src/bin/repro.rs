@@ -1,0 +1,134 @@
+//! `repro` — regenerate every figure and table of the paper.
+//!
+//! ```text
+//! repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|all]
+//!       [--quick] [--reps N] [--system-reps N] [--seed N]
+//!       [--no-system] [--out DIR]
+//! ```
+//!
+//! Run with `cargo run --release --bin repro -- all`. Results print to
+//! stdout and CSVs land under `results/` (override with `--out`).
+
+use fairness_bench::{experiments, ReproOptions};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|all]\n\
+     \x20            [--quick] [--reps N] [--system-reps N] [--seed N] [--no-system] [--out DIR]\n\
+     \n\
+     figures/tables (Huang et al., SIGMOD 2021):\n\
+     \x20 fig1       SL-PoS win probability vs current share (drift to 0/1)\n\
+     \x20 fig2       evolution of lambda_A for PoW / ML-PoS / SL-PoS / C-PoS\n\
+     \x20 fig3       unfair probability vs n for a in {0.1..0.4}\n\
+     \x20 fig4       SL-PoS mean lambda_A: share sweep + reward sweep\n\
+     \x20 fig5       unfair probability: w sweeps (ML/SL/C-PoS) + v sweep\n\
+     \x20 fig6       FSL-PoS treatment, with and without reward withholding\n\
+     \x20 table1     multi-miner game (2..10 miners, all four protocols)\n\
+     \x20 ablations  shard sweep, withholding-period sweep, Section 6.4 sketches\n\
+     \x20 extensions cash-out miners, mining pools, decentralization, equitability\n\
+     \x20 all        everything above"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ReproOptions::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => opts = ReproOptions { results_dir: opts.results_dir.clone(), ..ReproOptions::quick() },
+            "--no-system" => opts.with_system = false,
+            "--reps" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => opts.repetitions = v,
+                    None => {
+                        eprintln!("--reps needs a number\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--system-reps" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => opts.system_repetitions = v,
+                    None => {
+                        eprintln!("--system-reps needs a number\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => opts.seed = v,
+                    None => {
+                        eprintln!("--seed needs a number\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => opts.results_dir = PathBuf::from(v),
+                    None => {
+                        eprintln!("--out needs a directory\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => targets.push(other.to_owned()),
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        targets.push("all".to_owned());
+    }
+    let all = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "ablations", "extensions"];
+    let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        all.to_vec()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+
+    for target in expanded {
+        let started = std::time::Instant::now();
+        let result = match target {
+            "fig1" => experiments::fig1(&opts),
+            "fig2" => experiments::fig2(&opts),
+            "fig3" => experiments::fig3(&opts),
+            "fig4" => experiments::fig4(&opts),
+            "fig5" => experiments::fig5(&opts),
+            "fig6" => experiments::fig6(&opts),
+            "table1" => experiments::table1(&opts),
+            "ablations" => experiments::ablations(&opts),
+            "extensions" => experiments::extensions(&opts),
+            other => {
+                eprintln!("unknown target {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        match result {
+            Ok(report) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+                println!("[{target} done in {:.1}s]", started.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("{target} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

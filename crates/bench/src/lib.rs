@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+
+//! # fairness-bench
+//!
+//! Experiment harness regenerating **every figure and table** in the
+//! evaluation of *"Do the Rich Get Richer?"* (SIGMOD 2021), plus ablations.
+//!
+//! The `repro` binary drives [`experiments`]; each experiment prints the
+//! series/rows the paper reports and writes CSVs under `results/`.
+//!
+//! ## A note on C-PoS magnitudes (`P_EFF`)
+//!
+//! The paper's C-PoS *model* (Section 2.4, Theorems 3.5/4.10) divides the
+//! proposer reward across `P = 32` shards, which shrinks the per-epoch
+//! lottery variance by `1/P`. Its *reported simulation magnitudes*, however
+//! — Figure 5(d)'s unfair probabilities of ≈70%/50%/10% for
+//! `v ∈ {0, 0.01, 0.1}`, Figure 3(d)'s ≈10% plateau at `a = 0.2`, and
+//! Table 1's C-PoS row — are reproduced exactly by an *effective* single
+//! proposer draw per epoch (`P_eff = 1`); with the full `P = 32` variance
+//! reduction every C-PoS unfair probability would be below 1%, collapsing
+//! those curves. We therefore run the paper-matching figures with
+//! `P_eff = 1` (the shape and magnitudes match) and demonstrate the
+//! theorem's `P`-dependence separately in the shard ablation
+//! (`repro ablations`). EXPERIMENTS.md discusses the reconstruction.
+
+pub mod experiments;
+pub mod report;
+
+use std::path::PathBuf;
+
+/// Options shared by all reproduction experiments.
+#[derive(Debug, Clone)]
+pub struct ReproOptions {
+    /// Monte-Carlo repetitions for closed-form simulations (paper: 10,000).
+    pub repetitions: usize,
+    /// Repetitions for hash-level "real system" experiments (paper: 500
+    /// for PoS, 10 for PoW).
+    pub system_repetitions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV files.
+    pub results_dir: PathBuf,
+    /// Whether to run the hash-level chain-sim overlays (slower).
+    pub with_system: bool,
+}
+
+impl Default for ReproOptions {
+    fn default() -> Self {
+        Self {
+            repetitions: 10_000,
+            system_repetitions: 200,
+            seed: 0x5168_3D02,
+            results_dir: PathBuf::from("results"),
+            with_system: true,
+        }
+    }
+}
+
+impl ReproOptions {
+    /// Reduced-scale options for smoke runs (~20× faster).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            repetitions: 1_000,
+            system_repetitions: 40,
+            ..Self::default()
+        }
+    }
+}

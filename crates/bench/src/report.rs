@@ -1,0 +1,155 @@
+//! Report rendering: aligned ASCII tables for the terminal and CSV files
+//! for plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                if i + 1 < cols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Writes rows of `f64` series as CSV under the results directory.
+///
+/// # Errors
+/// Returns any I/O error from creating the directory or writing the file.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<f64>],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let mut body = String::new();
+    body.push_str(&header.join(","));
+    body.push('\n');
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        body.push_str(&line.join(","));
+        body.push('\n');
+    }
+    fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Formats a probability/fraction with 4 decimal places.
+#[must_use]
+pub fn fmt4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats an optional convergence time ("Never" for `None`, like Table 1).
+#[must_use]
+pub fn fmt_convergence(v: Option<u64>) -> String {
+    v.map_or_else(|| "Never".to_owned(), |n| n.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["n", "mean"]);
+        t.row(vec!["10", "0.2"]);
+        t.row(vec!["10000", "0.19"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("n "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // All rows have equal width formatting.
+        assert!(lines[2].len() <= lines[3].len() + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_enforced() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("fairness-bench-test-csv");
+        let path = write_csv(
+            &dir,
+            "unit",
+            &["n", "mean"],
+            &[vec![1.0, 0.5], vec![2.0, 0.25]],
+        )
+        .expect("write csv");
+        let body = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(body, "n,mean\n1,0.5\n2,0.25\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt4(0.12345), "0.1235");
+        assert_eq!(fmt_convergence(Some(1055)), "1055");
+        assert_eq!(fmt_convergence(None), "Never");
+    }
+}

@@ -1,0 +1,363 @@
+//! Addresses, accounts and the stake ledger.
+//!
+//! Stakes are integer "atoms" (like satoshi/wei) so that reward accounting
+//! is exact: the ledger's total supply invariant (`initial + issued ==
+//! Σ balances`) is checked in tests and property tests, mirroring the
+//! paper's normalization where stakes sum to `1 + n·w` after `n` blocks.
+
+use crate::hash::{Hash256, HashBuilder};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A 20-byte account address derived from a public key hash
+/// (Ethereum-style truncation of the SHA-256 of the key).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// Derives an address from a public key hash.
+    #[must_use]
+    pub fn from_pubkey(pubkey: &Hash256) -> Self {
+        let digest = HashBuilder::new("address").hash(pubkey).finish();
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&digest.0[12..32]);
+        Self(out)
+    }
+
+    /// Deterministic test/simulation address for miner `index`.
+    #[must_use]
+    pub fn for_miner(index: usize) -> Self {
+        let pk = HashBuilder::new("miner-pubkey").u64(index as u64).finish();
+        Self::from_pubkey(&pk)
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0[..6] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…")
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An account's spendable balance, in atoms. In the PoS engines the balance
+/// *is* the staking power (Assumption 4: no top-up/withdrawal actions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Account {
+    /// Balance in atoms.
+    pub balance: u64,
+    /// Monotonic transaction counter (replay protection).
+    pub nonce: u64,
+}
+
+/// Errors from ledger operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// Debit larger than the account balance.
+    InsufficientFunds {
+        /// Balance available.
+        available: u64,
+        /// Amount requested.
+        requested: u64,
+    },
+    /// Transaction nonce does not match the account's next nonce.
+    BadNonce {
+        /// Nonce the ledger expected.
+        expected: u64,
+        /// Nonce supplied.
+        got: u64,
+    },
+    /// Credit would overflow the balance or total supply.
+    SupplyOverflow,
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::InsufficientFunds {
+                available,
+                requested,
+            } => write!(f, "insufficient funds: have {available}, need {requested}"),
+            LedgerError::BadNonce { expected, got } => {
+                write!(f, "bad nonce: expected {expected}, got {got}")
+            }
+            LedgerError::SupplyOverflow => write!(f, "supply overflow"),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The account ledger: balances plus total-supply accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ledger {
+    accounts: BTreeMap<Address, Account>,
+    total_supply: u64,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a ledger pre-funded with `(address, balance)` pairs — the
+    /// genesis stake allocation.
+    #[must_use]
+    pub fn with_genesis(alloc: &[(Address, u64)]) -> Self {
+        let mut ledger = Self::new();
+        for &(addr, amount) in alloc {
+            ledger.credit(addr, amount).expect("genesis allocation overflow");
+        }
+        ledger
+    }
+
+    /// Balance of `addr` (0 when absent).
+    #[must_use]
+    pub fn balance(&self, addr: &Address) -> u64 {
+        self.accounts.get(addr).map_or(0, |a| a.balance)
+    }
+
+    /// Next expected nonce of `addr`.
+    #[must_use]
+    pub fn nonce(&self, addr: &Address) -> u64 {
+        self.accounts.get(addr).map_or(0, |a| a.nonce)
+    }
+
+    /// Sum of all balances.
+    #[must_use]
+    pub fn total_supply(&self) -> u64 {
+        self.total_supply
+    }
+
+    /// Number of accounts that have ever held funds.
+    #[must_use]
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Credits `amount` atoms to `addr` (new supply, e.g. block reward).
+    pub fn credit(&mut self, addr: Address, amount: u64) -> Result<(), LedgerError> {
+        let account = self.accounts.entry(addr).or_default();
+        account.balance = account
+            .balance
+            .checked_add(amount)
+            .ok_or(LedgerError::SupplyOverflow)?;
+        self.total_supply = self
+            .total_supply
+            .checked_add(amount)
+            .ok_or(LedgerError::SupplyOverflow)?;
+        Ok(())
+    }
+
+    /// Transfers between accounts, enforcing funds and nonce.
+    pub fn transfer(
+        &mut self,
+        from: Address,
+        to: Address,
+        amount: u64,
+        nonce: u64,
+    ) -> Result<(), LedgerError> {
+        let sender = self.accounts.entry(from).or_default();
+        if sender.nonce != nonce {
+            return Err(LedgerError::BadNonce {
+                expected: sender.nonce,
+                got: nonce,
+            });
+        }
+        if sender.balance < amount {
+            return Err(LedgerError::InsufficientFunds {
+                available: sender.balance,
+                requested: amount,
+            });
+        }
+        sender.balance -= amount;
+        sender.nonce += 1;
+        let recipient = self.accounts.entry(to).or_default();
+        recipient.balance = recipient
+            .balance
+            .checked_add(amount)
+            .ok_or(LedgerError::SupplyOverflow)?;
+        Ok(())
+    }
+
+    /// Iterates over `(address, account)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Verifies the supply invariant: Σ balances == recorded total supply.
+    #[must_use]
+    pub fn check_supply_invariant(&self) -> bool {
+        let sum: u128 = self.accounts.values().map(|a| a.balance as u128).sum();
+        sum == self.total_supply as u128
+    }
+}
+
+/// Splits `total` atoms among recipients proportionally to `weights`, with
+/// the remainder assigned by the largest-remainder method so the split is
+/// exact (`Σ shares == total`) — used for the C-PoS inflation (attester)
+/// reward which the paper distributes "proportional to their possessed
+/// stakes".
+///
+/// # Panics
+/// Panics if `weights` is empty or sums to zero while `total > 0`.
+#[must_use]
+pub fn proportional_split(total: u64, weights: &[u64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "proportional_split needs recipients");
+    let weight_sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        return vec![0; weights.len()];
+    }
+    assert!(weight_sum > 0, "proportional_split with zero total weight");
+    // Floor shares plus remainders.
+    let mut shares: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let numer = total as u128 * w as u128;
+        let share = (numer / weight_sum) as u64;
+        let rem = numer % weight_sum;
+        shares.push(share);
+        remainders.push((rem, i));
+        assigned += share;
+    }
+    // Hand out the leftover atoms to the largest remainders (ties broken by
+    // lower index for determinism).
+    let mut leftover = total - assigned;
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut k = 0;
+    while leftover > 0 {
+        shares[remainders[k].1] += 1;
+        leftover -= 1;
+        k = (k + 1) % remainders.len();
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_deterministic_and_distinct() {
+        assert_eq!(Address::for_miner(0), Address::for_miner(0));
+        assert_ne!(Address::for_miner(0), Address::for_miner(1));
+    }
+
+    #[test]
+    fn genesis_allocation() {
+        let a = Address::for_miner(0);
+        let b = Address::for_miner(1);
+        let ledger = Ledger::with_genesis(&[(a, 200), (b, 800)]);
+        assert_eq!(ledger.balance(&a), 200);
+        assert_eq!(ledger.balance(&b), 800);
+        assert_eq!(ledger.total_supply(), 1000);
+        assert!(ledger.check_supply_invariant());
+    }
+
+    #[test]
+    fn credit_increases_supply() {
+        let mut ledger = Ledger::new();
+        let a = Address::for_miner(0);
+        ledger.credit(a, 50).expect("credit");
+        ledger.credit(a, 25).expect("credit");
+        assert_eq!(ledger.balance(&a), 75);
+        assert_eq!(ledger.total_supply(), 75);
+    }
+
+    #[test]
+    fn transfer_conserves_supply() {
+        let a = Address::for_miner(0);
+        let b = Address::for_miner(1);
+        let mut ledger = Ledger::with_genesis(&[(a, 100)]);
+        ledger.transfer(a, b, 40, 0).expect("transfer");
+        assert_eq!(ledger.balance(&a), 60);
+        assert_eq!(ledger.balance(&b), 40);
+        assert_eq!(ledger.total_supply(), 100);
+        assert!(ledger.check_supply_invariant());
+    }
+
+    #[test]
+    fn transfer_enforces_funds_and_nonce() {
+        let a = Address::for_miner(0);
+        let b = Address::for_miner(1);
+        let mut ledger = Ledger::with_genesis(&[(a, 10)]);
+        assert_eq!(
+            ledger.transfer(a, b, 20, 0),
+            Err(LedgerError::InsufficientFunds {
+                available: 10,
+                requested: 20
+            })
+        );
+        assert_eq!(
+            ledger.transfer(a, b, 5, 3),
+            Err(LedgerError::BadNonce { expected: 0, got: 3 })
+        );
+        ledger.transfer(a, b, 5, 0).expect("first transfer");
+        // Nonce advanced.
+        assert_eq!(
+            ledger.transfer(a, b, 1, 0),
+            Err(LedgerError::BadNonce { expected: 1, got: 0 })
+        );
+    }
+
+    #[test]
+    fn credit_overflow_detected() {
+        let mut ledger = Ledger::new();
+        let a = Address::for_miner(0);
+        ledger.credit(a, u64::MAX).expect("first credit");
+        assert_eq!(ledger.credit(a, 1), Err(LedgerError::SupplyOverflow));
+    }
+
+    #[test]
+    fn proportional_split_exact() {
+        let shares = proportional_split(100, &[1, 1, 1]);
+        assert_eq!(shares.iter().sum::<u64>(), 100);
+        // 33/33/33 plus one remainder atom.
+        assert!(shares.iter().all(|&s| s == 33 || s == 34));
+
+        let shares = proportional_split(10, &[200, 800]);
+        assert_eq!(shares, vec![2, 8]);
+
+        let shares = proportional_split(7, &[1, 2, 4]);
+        assert_eq!(shares.iter().sum::<u64>(), 7);
+        assert_eq!(shares, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn proportional_split_zero_total() {
+        assert_eq!(proportional_split(0, &[5, 5]), vec![0, 0]);
+    }
+
+    #[test]
+    fn proportional_split_respects_proportions_at_scale() {
+        let total = 1_000_000_007u64;
+        let weights = [200_000u64, 300_000, 500_000];
+        let shares = proportional_split(total, &weights);
+        assert_eq!(shares.iter().sum::<u64>(), total);
+        for (s, w) in shares.iter().zip(&weights) {
+            let expect = total as f64 * *w as f64 / 1_000_000.0;
+            assert!((*s as f64 - expect).abs() <= 1.0, "{s} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn proportional_split_rejects_zero_weights() {
+        let _ = proportional_split(10, &[0, 0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Proof-of-Work lottery: literal nonce grinding (Section 2.1).
+//!
+//! Each tick, miner `i` checks `hash_rate_i` nonces; a nonce is valid when
+//! `Hash("pow-trial", prev, pk, nonce) < target`. The first tick containing
+//! a success ends the race; if several miners succeed in the same tick, the
+//! smallest trial hash wins (deterministic fork resolution). With per-trial
+//! success probability `p = target/2²⁵⁶`, miner `i`'s block count per tick
+//! is Binomial(`rate_i`, `p`) ≈ Poisson(`rate_i·p`) — exactly the paper's
+//! model, so the win probability converges to `H_A/(H_A + H_B)`.
+
+use super::{check_inputs, BlockLottery, LotteryOutcome, MinerProfile};
+use crate::hash::{Hash256, HashBuilder};
+use crate::u256::U256;
+use rand::RngCore;
+
+/// PoW engine parameterized by a difficulty target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowEngine {
+    target: U256,
+    /// Safety valve: abort the tick loop after this many ticks (the target
+    /// should make success overwhelmingly likely long before).
+    max_ticks: u64,
+}
+
+impl PowEngine {
+    /// Creates a PoW engine with the given target.
+    ///
+    /// # Panics
+    /// Panics if the target is zero.
+    #[must_use]
+    pub fn new(target: U256) -> Self {
+        assert!(!target.is_zero(), "PoW target must be positive");
+        Self {
+            target,
+            max_ticks: 10_000_000,
+        }
+    }
+
+    /// The difficulty target.
+    #[must_use]
+    pub fn target(&self) -> U256 {
+        self.target
+    }
+
+    /// Replaces the target (difficulty retarget).
+    pub fn set_target(&mut self, target: U256) {
+        assert!(!target.is_zero(), "PoW target must be positive");
+        self.target = target;
+    }
+
+    /// The hash of one nonce trial.
+    #[must_use]
+    pub fn trial_hash(prev: &Hash256, pubkey: &Hash256, nonce: u64) -> Hash256 {
+        HashBuilder::new("pow-trial")
+            .hash(prev)
+            .hash(pubkey)
+            .u64(nonce)
+            .finish()
+    }
+
+    /// Whether a trial hash satisfies the target.
+    #[must_use]
+    pub fn trial_valid(&self, trial: &Hash256) -> bool {
+        trial.to_u256() < self.target
+    }
+}
+
+impl BlockLottery for PowEngine {
+    fn name(&self) -> &'static str {
+        "pow"
+    }
+
+    fn run(
+        &self,
+        prev: &Hash256,
+        _height: u64,
+        miners: &[MinerProfile],
+        stakes: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> LotteryOutcome {
+        check_inputs(miners, stakes);
+        assert!(
+            miners.iter().any(|m| m.hash_rate > 0),
+            "PoW needs at least one miner with positive hash rate"
+        );
+        // Each miner starts from a random nonce offset (real miners pick
+        // random extraNonce ranges), then scans sequentially.
+        let mut cursors: Vec<u64> = miners.iter().map(|_| rng.next_u64()).collect();
+        for tick in 0..self.max_ticks {
+            let mut best: Option<(Hash256, usize, u64)> = None;
+            for (mi, miner) in miners.iter().enumerate() {
+                for _ in 0..miner.hash_rate {
+                    let nonce = cursors[mi];
+                    cursors[mi] = cursors[mi].wrapping_add(1);
+                    let trial = Self::trial_hash(prev, &miner.pubkey, nonce);
+                    if self.trial_valid(&trial) {
+                        let candidate = (trial, mi, nonce);
+                        let better = match &best {
+                            None => true,
+                            Some((h, _, _)) => trial < *h,
+                        };
+                        if better {
+                            best = Some(candidate);
+                        }
+                    }
+                }
+            }
+            if let Some((trial, winner, nonce)) = best {
+                return LotteryOutcome {
+                    winner,
+                    elapsed_ticks: tick + 1,
+                    nonce,
+                    proof_hash: trial,
+                };
+            }
+        }
+        panic!(
+            "PoW lottery found no block within {} ticks — target too hard",
+            self.max_ticks
+        );
+    }
+
+    fn verify(
+        &self,
+        prev: &Hash256,
+        _height: u64,
+        miners: &[MinerProfile],
+        _stakes: &[u64],
+        outcome: &LotteryOutcome,
+    ) -> bool {
+        let Some(miner) = miners.get(outcome.winner) else {
+            return false;
+        };
+        let trial = Self::trial_hash(prev, &miner.pubkey, outcome.nonce);
+        trial == outcome.proof_hash && self.trial_valid(&trial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::difficulty::target_for_expected_interval;
+    use fairness_stats::rng::Xoshiro256StarStar;
+
+    fn miners(rates: &[u64]) -> Vec<MinerProfile> {
+        rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| MinerProfile::new(i, r))
+            .collect()
+    }
+
+    #[test]
+    fn lottery_completes_and_verifies() {
+        let ms = miners(&[4, 16]);
+        let stakes = vec![0, 0];
+        // Expect ~5 ticks per block at rate 20.
+        let engine = PowEngine::new(target_for_expected_interval(20, 5));
+        let mut rng = Xoshiro256StarStar::new(1);
+        let prev = Hash256::ZERO;
+        let out = engine.run(&prev, 1, &ms, &stakes, &mut rng);
+        assert!(out.winner < 2);
+        assert!(out.elapsed_ticks >= 1);
+        assert!(engine.verify(&prev, 1, &ms, &stakes, &out));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_outcome() {
+        let ms = miners(&[4, 16]);
+        let stakes = vec![0, 0];
+        let engine = PowEngine::new(target_for_expected_interval(20, 5));
+        let mut rng = Xoshiro256StarStar::new(2);
+        let prev = Hash256::ZERO;
+        let mut out = engine.run(&prev, 1, &ms, &stakes, &mut rng);
+        out.nonce = out.nonce.wrapping_add(1);
+        assert!(!engine.verify(&prev, 1, &ms, &stakes, &out));
+        let out2 = engine.run(&prev, 1, &ms, &stakes, &mut rng);
+        let mut wrong_winner = out2;
+        wrong_winner.winner = 5;
+        assert!(!engine.verify(&prev, 1, &ms, &stakes, &wrong_winner));
+    }
+
+    #[test]
+    fn win_rate_proportional_to_hash_power() {
+        // H_A : H_B = 1 : 4 → A should win ≈ 20% of blocks.
+        let ms = miners(&[2, 8]);
+        let stakes = vec![0, 0];
+        let engine = PowEngine::new(target_for_expected_interval(10, 4));
+        let mut rng = Xoshiro256StarStar::new(3);
+        let mut wins_a = 0u64;
+        let n = 3000;
+        let mut prev = Hash256::ZERO;
+        for h in 0..n {
+            let out = engine.run(&prev, h, &ms, &stakes, &mut rng);
+            if out.winner == 0 {
+                wins_a += 1;
+            }
+            // Chain the lotteries like real blocks.
+            prev = HashBuilder::new("chain").hash(&prev).hash(&out.proof_hash).finish();
+        }
+        let frac = wins_a as f64 / n as f64;
+        // SE ≈ sqrt(0.2*0.8/3000) ≈ 0.0073; allow 4.5 sigma.
+        assert!((frac - 0.2).abs() < 0.033, "win fraction {frac}");
+    }
+
+    #[test]
+    fn elapsed_ticks_mean_matches_design() {
+        let ms = miners(&[10]);
+        let stakes = vec![0];
+        let engine = PowEngine::new(target_for_expected_interval(10, 8));
+        let mut rng = Xoshiro256StarStar::new(4);
+        let mut total = 0u64;
+        let n = 800;
+        let mut prev = Hash256::ZERO;
+        for h in 0..n {
+            let out = engine.run(&prev, h, &ms, &stakes, &mut rng);
+            total += out.elapsed_ticks;
+            prev = HashBuilder::new("chain").hash(&prev).u64(h).finish();
+        }
+        let mean = total as f64 / n as f64;
+        // Geometric-ish with mean ~8 ticks (discretization shifts it a bit).
+        assert!(mean > 5.0 && mean < 12.0, "mean interval {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "target must be positive")]
+    fn zero_target_rejected() {
+        let _ = PowEngine::new(U256::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive hash rate")]
+    fn all_zero_rates_rejected() {
+        let ms = miners(&[0, 0]);
+        let engine = PowEngine::new(U256::MAX);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let _ = engine.run(&Hash256::ZERO, 1, &ms, &[0, 0], &mut rng);
+    }
+}

@@ -1,0 +1,160 @@
+//! Difficulty adjustment rules.
+//!
+//! Real clients retarget difficulty so block intervals stay near a design
+//! constant (15 s for Geth, 5–10 min for Qtum/NXT as cited in the paper).
+//! Two industry rules are implemented:
+//!
+//! * [`bitcoin_retarget`] — epoch-based: every `N` blocks the target is
+//!   scaled by `actual/expected` elapsed time, clamped to a 4× band;
+//! * [`nxt_adjust_base_target`] — per-block: NXT scales its `baseTarget` by
+//!   the last block time, clamped to ±20% per step (SL-PoS chains).
+
+use crate::u256::U256;
+
+/// Bitcoin-style retarget: scales `target` by `actual_timespan /
+/// expected_timespan`, clamping the ratio to `[1/4, 4]`. A larger target is
+/// easier.
+///
+/// # Panics
+/// Panics if `expected_timespan` is zero.
+#[must_use]
+pub fn bitcoin_retarget(target: U256, actual_timespan: u64, expected_timespan: u64) -> U256 {
+    assert!(expected_timespan > 0, "expected timespan must be positive");
+    let clamped = actual_timespan
+        .max(expected_timespan / 4)
+        .min(expected_timespan.saturating_mul(4));
+    // target * clamped / expected without overflow.
+    let scaled = target.mul_div(U256::from_u64(clamped), U256::from_u64(expected_timespan));
+    if scaled.is_zero() {
+        U256::ONE
+    } else {
+        scaled
+    }
+}
+
+/// NXT-style per-block base-target adjustment: scales by
+/// `last_block_time / target_block_time` with the ratio clamped to
+/// `[0.8, 1.2]` per block, and the result kept within
+/// `[initial/50, initial*50]`.
+///
+/// # Panics
+/// Panics if `target_block_time` is zero.
+#[must_use]
+pub fn nxt_adjust_base_target(
+    base_target: U256,
+    initial_base_target: U256,
+    last_block_time: u64,
+    target_block_time: u64,
+) -> U256 {
+    assert!(target_block_time > 0, "target block time must be positive");
+    // Clamp the time ratio to ±20%: times in [0.8T, 1.2T].
+    let lo = target_block_time * 4 / 5;
+    let hi = target_block_time * 6 / 5;
+    let clamped_time = last_block_time.clamp(lo.max(1), hi);
+    let mut adjusted = base_target.mul_div(
+        U256::from_u64(clamped_time),
+        U256::from_u64(target_block_time),
+    );
+    // Keep within a sane global band around the initial value.
+    let min_t = initial_base_target.div_rem(U256::from_u64(50)).0.max(U256::ONE);
+    let max_t = initial_base_target.saturating_mul(U256::from_u64(50));
+    if adjusted < min_t {
+        adjusted = min_t;
+    }
+    if adjusted > max_t {
+        adjusted = max_t;
+    }
+    adjusted
+}
+
+/// Derives a PoW target such that with total hash rate `total_hash_rate`
+/// (trials per tick) the expected block interval is `ticks_per_block`:
+/// success probability per trial `p = 1/(rate·interval)` ⇒
+/// `target = 2²⁵⁶ · p`.
+///
+/// # Panics
+/// Panics if either argument is zero.
+#[must_use]
+pub fn target_for_expected_interval(total_hash_rate: u64, ticks_per_block: u64) -> U256 {
+    assert!(total_hash_rate > 0, "hash rate must be positive");
+    assert!(ticks_per_block > 0, "interval must be positive");
+    let denom = U256::from_u64(total_hash_rate) * U256::from_u64(ticks_per_block);
+    U256::MAX.div_rem(denom).0.max(U256::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retarget_no_change_when_on_schedule() {
+        let t = U256::ONE << 200u32;
+        assert_eq!(bitcoin_retarget(t, 1000, 1000), t);
+    }
+
+    #[test]
+    fn retarget_eases_when_blocks_slow() {
+        let t = U256::ONE << 200u32;
+        let new = bitcoin_retarget(t, 2000, 1000);
+        assert_eq!(new, t * U256::from_u64(2)); // easier target
+    }
+
+    #[test]
+    fn retarget_tightens_when_blocks_fast() {
+        let t = U256::ONE << 200u32;
+        let new = bitcoin_retarget(t, 500, 1000);
+        assert_eq!(new, t.div_rem(U256::from_u64(2)).0);
+    }
+
+    #[test]
+    fn retarget_clamped_to_4x_band() {
+        let t = U256::ONE << 200u32;
+        assert_eq!(bitcoin_retarget(t, 100_000, 1000), t * U256::from_u64(4));
+        assert_eq!(bitcoin_retarget(t, 1, 1000), t.div_rem(U256::from_u64(4)).0);
+    }
+
+    #[test]
+    fn retarget_never_zero() {
+        assert_eq!(bitcoin_retarget(U256::ONE, 1, 1000), U256::ONE);
+    }
+
+    #[test]
+    fn nxt_adjustment_direction() {
+        let init = U256::ONE << 150u32;
+        // Slow block (time > target): base target grows (easier).
+        let up = nxt_adjust_base_target(init, init, 120, 100);
+        assert!(up > init);
+        // Fast block: shrinks.
+        let down = nxt_adjust_base_target(init, init, 80, 100);
+        assert!(down < init);
+    }
+
+    #[test]
+    fn nxt_adjustment_clamped_per_block() {
+        let init = U256::ONE << 150u32;
+        let extreme_slow = nxt_adjust_base_target(init, init, 10_000, 100);
+        // At most +20%.
+        assert_eq!(extreme_slow, init.mul_div(U256::from_u64(120), U256::from_u64(100)));
+        let extreme_fast = nxt_adjust_base_target(init, init, 1, 100);
+        assert_eq!(extreme_fast, init.mul_div(U256::from_u64(80), U256::from_u64(100)));
+    }
+
+    #[test]
+    fn nxt_global_band() {
+        let init = U256::from_u64(1000);
+        // Walk the target down repeatedly; it must not fall below init/50.
+        let mut t = init;
+        for _ in 0..100 {
+            t = nxt_adjust_base_target(t, init, 1, 100);
+        }
+        assert_eq!(t, U256::from_u64(20)); // 1000/50
+    }
+
+    #[test]
+    fn expected_interval_target_math() {
+        // With rate 100 trials/tick and 50 ticks/block, p = 1/5000 per trial.
+        let target = target_for_expected_interval(100, 50);
+        let p = target.as_unit_f64();
+        assert!((p - 1.0 / 5000.0).abs() / (1.0 / 5000.0) < 1e-9, "p={p}");
+    }
+}

@@ -1,0 +1,177 @@
+//! Hash values and domain-separated hashing.
+//!
+//! [`Hash256`] wraps a 32-byte SHA-256 digest and converts losslessly to
+//! [`U256`] so lottery comparisons (`Hash(…) < D·stake`) are exact 256-bit
+//! arithmetic, matching the paper's model where `Hash(·)` is uniform on
+//! `[0, 2²⁵⁶ − 1]`.
+//!
+//! [`HashBuilder`] provides domain separation: every hash in the simulator
+//! names its purpose (`"pow-nonce"`, `"mlpos-kernel"`, …) so unrelated
+//! lotteries can never collide structurally.
+
+use crate::sha256::Sha256;
+use crate::u256::U256;
+use std::fmt;
+
+/// A 256-bit hash value (SHA-256 digest).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero hash (used as the genesis parent).
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Interprets the digest as a big-endian 256-bit integer.
+    #[must_use]
+    pub fn to_u256(&self) -> U256 {
+        U256::from_be_bytes(self.0)
+    }
+
+    /// Interprets the digest as a uniform sample in `[0, 1)` — the paper's
+    /// `Hash(·)/2²⁵⁶ ~ U(0, 1)` idealization.
+    #[must_use]
+    pub fn as_unit_f64(&self) -> f64 {
+        self.to_u256().as_unit_f64()
+    }
+
+    /// Raw bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Short hex prefix for logs.
+    #[must_use]
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for domain-separated hashes.
+///
+/// The domain string is length-prefixed and absorbed first, then each field
+/// is absorbed with its length, so `u64(1).u64(2)` can never collide with
+/// `u64(0x0000000100000002)`-style confusions.
+#[derive(Debug, Clone)]
+pub struct HashBuilder {
+    inner: Sha256,
+}
+
+impl HashBuilder {
+    /// Starts a hash in the given domain.
+    #[must_use]
+    pub fn new(domain: &str) -> Self {
+        let mut inner = Sha256::new();
+        inner.update(&(domain.len() as u64).to_le_bytes());
+        inner.update(domain.as_bytes());
+        Self { inner }
+    }
+
+    /// Absorbs a `u64`.
+    #[must_use]
+    pub fn u64(mut self, v: u64) -> Self {
+        self.inner.update(&[8u8]);
+        self.inner.update(&v.to_le_bytes());
+        self
+    }
+
+    /// Absorbs a byte slice (length-prefixed).
+    #[must_use]
+    pub fn bytes(mut self, b: &[u8]) -> Self {
+        self.inner.update(&(b.len() as u64).to_le_bytes());
+        self.inner.update(b);
+        self
+    }
+
+    /// Absorbs another hash.
+    #[must_use]
+    pub fn hash(self, h: &Hash256) -> Self {
+        self.bytes(&h.0)
+    }
+
+    /// Finishes, producing the digest.
+    #[must_use]
+    pub fn finish(self) -> Hash256 {
+        Hash256(self.inner.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_deterministic() {
+        let a = HashBuilder::new("test").u64(1).bytes(b"xyz").finish();
+        let b = HashBuilder::new("test").u64(1).bytes(b"xyz").finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn domains_separate() {
+        let a = HashBuilder::new("pow").u64(1).finish();
+        let b = HashBuilder::new("pos").u64(1).finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn field_framing_prevents_collisions() {
+        let a = HashBuilder::new("d").bytes(b"ab").bytes(b"c").finish();
+        let b = HashBuilder::new("d").bytes(b"a").bytes(b"bc").finish();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn u256_conversion_is_big_endian() {
+        let mut bytes = [0u8; 32];
+        bytes[31] = 1; // lowest byte in BE
+        let h = Hash256(bytes);
+        assert_eq!(h.to_u256(), U256::ONE);
+    }
+
+    #[test]
+    fn unit_f64_in_range_and_roughly_uniform() {
+        let mut acc = 0.0;
+        let n = 2000;
+        for i in 0..n {
+            let u = HashBuilder::new("uniform").u64(i).finish().as_unit_f64();
+            assert!((0.0..1.0).contains(&u));
+            acc += u;
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn display_and_short_hex() {
+        let h = HashBuilder::new("x").finish();
+        assert_eq!(h.to_string().len(), 64);
+        assert_eq!(h.short_hex().len(), 8);
+        assert!(h.to_string().starts_with(&h.short_hex()));
+    }
+
+    #[test]
+    fn zero_constant() {
+        assert_eq!(Hash256::ZERO.to_u256(), U256::ZERO);
+        assert_eq!(Hash256::ZERO.as_unit_f64(), 0.0);
+    }
+}

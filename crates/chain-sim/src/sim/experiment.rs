@@ -1,0 +1,295 @@
+//! "Real-system" experiment runner.
+//!
+//! Drives [`NetworkSim`]/[`CPosSim`] repetitions exactly the way the paper
+//! drives its EC2 deployments: run a two-miner (or N-miner) network for `n`
+//! blocks, record the reward fraction `λ_A` at checkpoints, repeat, and
+//! summarize. The fairness figures overlay these hash-level trajectories on
+//! the fast closed-form simulations from `fairness-core` (the paper's green
+//! bars vs blue bands).
+
+use super::network::{CPosSim, Engine, NetworkConfig, NetworkSim};
+use crate::consensus::{CPosEngine, FslPosEngine, MlPosEngine, PowEngine, SlPosEngine};
+use crate::difficulty::target_for_expected_interval;
+use rand::RngCore;
+
+/// Which protocol an experiment exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Proof-of-Work (Geth stand-in).
+    Pow,
+    /// Multi-lottery PoS (Qtum/Blackcoin stand-in).
+    MlPos,
+    /// Single-lottery PoS (NXT stand-in).
+    SlPos,
+    /// Fair single-lottery PoS (paper's treatment on NXT).
+    FslPos,
+    /// Compound PoS (Ethereum 2.0 spec).
+    CPos,
+}
+
+impl ProtocolKind {
+    /// Display name matching the paper's terminology.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolKind::Pow => "PoW",
+            ProtocolKind::MlPos => "ML-PoS",
+            ProtocolKind::SlPos => "SL-PoS",
+            ProtocolKind::FslPos => "FSL-PoS",
+            ProtocolKind::CPos => "C-PoS",
+        }
+    }
+}
+
+/// Configuration of a hash-level experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Initial stake atoms per miner (index 0 is the tracked miner A).
+    pub initial_stakes: Vec<u64>,
+    /// Hash rates (PoW); proportional to the paper's resource shares.
+    pub hash_rates: Vec<u64>,
+    /// Block reward in atoms (C-PoS: proposer reward per epoch).
+    pub block_reward: u64,
+    /// C-PoS attester/inflation reward per epoch, in atoms.
+    pub attester_reward: u64,
+    /// C-PoS shard count `P`.
+    pub shards: u32,
+    /// Horizon: number of blocks (epochs for C-PoS).
+    pub horizon: u64,
+    /// Checkpoints (block/epoch counts) at which `λ_A` is recorded; must be
+    /// ascending and ≤ `horizon`.
+    pub checkpoints: Vec<u64>,
+}
+
+impl ExperimentConfig {
+    /// Two-miner configuration matching the paper's default setup: miner A
+    /// holds fraction `a` of `total` stake atoms, reward per block is
+    /// `w_fraction` of the initial circulation.
+    #[must_use]
+    pub fn two_miner(protocol: ProtocolKind, a: f64, w_fraction: f64, horizon: u64) -> Self {
+        assert!((0.0..1.0).contains(&a) && a > 0.0, "a must be in (0,1)");
+        let total: u64 = 1_000_000;
+        let stake_a = (a * total as f64).round() as u64;
+        let stakes = vec![stake_a, total - stake_a];
+        let reward = (w_fraction * total as f64).round() as u64;
+        // Hash rates only matter proportionally; small integers keep the
+        // nonce-grinding loop affordable (the paper's a values are all
+        // multiples of 0.05, so a scale of 20 represents them exactly).
+        let rate_a = ((a * 20.0).round() as u64).max(1);
+        let rates = vec![rate_a, 20 - rate_a.min(19)];
+        Self {
+            protocol,
+            initial_stakes: stakes,
+            hash_rates: rates,
+            block_reward: reward.max(1),
+            attester_reward: (10.0 * w_fraction * total as f64).round() as u64,
+            shards: 32,
+            horizon,
+            checkpoints: default_checkpoints(horizon),
+        }
+    }
+}
+
+/// Ten roughly log-spaced checkpoints up to `horizon`.
+#[must_use]
+pub fn default_checkpoints(horizon: u64) -> Vec<u64> {
+    let mut pts: Vec<u64> = Vec::new();
+    let mut v = (horizon / 100).max(1);
+    while v < horizon {
+        pts.push(v);
+        v = (v * 2).max(v + 1);
+    }
+    pts.push(horizon);
+    pts.dedup();
+    pts
+}
+
+/// Result of one experiment repetition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentOutcome {
+    /// `λ_A` at each configured checkpoint.
+    pub lambda_series: Vec<f64>,
+    /// Final `λ_A` at the horizon.
+    pub final_lambda: f64,
+    /// Final stake atoms per miner.
+    pub final_stakes: Vec<u64>,
+    /// Total simulated ticks elapsed.
+    pub total_ticks: u64,
+}
+
+/// Runs one repetition of the experiment.
+///
+/// # Panics
+/// Panics if checkpoints are not ascending or exceed the horizon.
+#[must_use]
+pub fn run_experiment(config: &ExperimentConfig, rng: &mut dyn RngCore) -> ExperimentOutcome {
+    assert!(
+        config.checkpoints.windows(2).all(|w| w[0] < w[1]),
+        "checkpoints must be strictly ascending"
+    );
+    assert!(
+        config.checkpoints.last().is_none_or(|&last| last <= config.horizon),
+        "checkpoints must not exceed the horizon"
+    );
+    match config.protocol {
+        ProtocolKind::CPos => run_cpos(config, rng),
+        _ => run_block_lottery(config, rng),
+    }
+}
+
+fn build_engine(config: &ExperimentConfig) -> Engine {
+    let total: u64 = config.initial_stakes.iter().sum();
+    match config.protocol {
+        ProtocolKind::Pow => {
+            let rate: u64 = config.hash_rates.iter().sum();
+            // ~4 expected ticks per block keeps hash-level runs affordable.
+            Engine::Pow(PowEngine::new(target_for_expected_interval(rate.max(1), 4)))
+        }
+        // 64-tick intervals keep per-timestamp success probabilities small
+        // enough that the tie-break term p_A·p_B is negligible (§2.2).
+        ProtocolKind::MlPos => Engine::MlPos(MlPosEngine::for_expected_interval(total, 64)),
+        ProtocolKind::SlPos => Engine::SlPos(SlPosEngine::new(1_000)),
+        ProtocolKind::FslPos => Engine::FslPos(FslPosEngine::new(1_000.0)),
+        ProtocolKind::CPos => unreachable!("C-PoS handled by run_cpos"),
+    }
+}
+
+fn run_block_lottery(config: &ExperimentConfig, rng: &mut dyn RngCore) -> ExperimentOutcome {
+    let net_config = NetworkConfig {
+        engine: build_engine(config),
+        initial_stakes: config.initial_stakes.clone(),
+        hash_rates: config.hash_rates.clone(),
+        block_reward: config.block_reward,
+        txs_per_block: 2,
+        propagation_delay: 1,
+        pow_retarget: None,
+    };
+    let mut net = NetworkSim::new(net_config, rng);
+    let mut series = Vec::with_capacity(config.checkpoints.len());
+    let mut next_checkpoint = 0usize;
+    for height in 1..=config.horizon {
+        net.step_block(rng);
+        if next_checkpoint < config.checkpoints.len()
+            && height == config.checkpoints[next_checkpoint]
+        {
+            series.push(net.win_fraction(0));
+            next_checkpoint += 1;
+        }
+    }
+    let m = config.initial_stakes.len().max(config.hash_rates.len());
+    ExperimentOutcome {
+        final_lambda: net.win_fraction(0),
+        lambda_series: series,
+        final_stakes: (0..m).map(|i| net.stake(i)).collect(),
+        total_ticks: net.clock(),
+    }
+}
+
+fn run_cpos(config: &ExperimentConfig, rng: &mut dyn RngCore) -> ExperimentOutcome {
+    let engine = CPosEngine::new(config.shards, config.block_reward, config.attester_reward);
+    let mut sim = CPosSim::new(engine, &config.initial_stakes, 384);
+    let mut series = Vec::with_capacity(config.checkpoints.len());
+    let mut next_checkpoint = 0usize;
+    for epoch in 1..=config.horizon {
+        sim.step_epoch(rng);
+        if next_checkpoint < config.checkpoints.len()
+            && epoch == config.checkpoints[next_checkpoint]
+        {
+            series.push(sim.reward_fraction(0));
+            next_checkpoint += 1;
+        }
+    }
+    ExperimentOutcome {
+        final_lambda: sim.reward_fraction(0),
+        lambda_series: series,
+        final_stakes: (0..config.initial_stakes.len()).map(|i| sim.stake(i)).collect(),
+        total_ticks: sim.epoch() * 384,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairness_stats::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn default_checkpoints_shape() {
+        let pts = default_checkpoints(1000);
+        assert_eq!(*pts.last().expect("non-empty"), 1000);
+        assert!(pts.windows(2).all(|w| w[0] < w[1]));
+        assert!(pts.len() >= 5);
+    }
+
+    #[test]
+    fn mlpos_experiment_runs() {
+        let config = ExperimentConfig::two_miner(ProtocolKind::MlPos, 0.2, 0.01, 100);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let out = run_experiment(&config, &mut rng);
+        assert_eq!(out.lambda_series.len(), config.checkpoints.len());
+        assert!((0.0..=1.0).contains(&out.final_lambda));
+        // Stake conservation: initial 1e6 + 100 blocks × 10_000 atoms.
+        let total: u64 = out.final_stakes.iter().sum();
+        assert_eq!(total, 1_000_000 + 100 * 10_000);
+    }
+
+    #[test]
+    fn pow_experiment_runs() {
+        let config = ExperimentConfig::two_miner(ProtocolKind::Pow, 0.2, 0.01, 60);
+        let mut rng = Xoshiro256StarStar::new(2);
+        let out = run_experiment(&config, &mut rng);
+        assert!((0.0..=1.0).contains(&out.final_lambda));
+        assert!(out.total_ticks >= 60);
+    }
+
+    #[test]
+    fn slpos_experiment_poor_miner_declines() {
+        let config = ExperimentConfig::two_miner(ProtocolKind::SlPos, 0.2, 0.01, 500);
+        let mut rng = Xoshiro256StarStar::new(3);
+        let out = run_experiment(&config, &mut rng);
+        // Strong expectation: λ_A well below fair share 0.2 (usually ~0).
+        assert!(
+            out.final_lambda < 0.2,
+            "SL-PoS poor miner fraction {}",
+            out.final_lambda
+        );
+    }
+
+    #[test]
+    fn fslpos_experiment_runs() {
+        let config = ExperimentConfig::two_miner(ProtocolKind::FslPos, 0.2, 0.01, 200);
+        let mut rng = Xoshiro256StarStar::new(4);
+        let out = run_experiment(&config, &mut rng);
+        assert!((0.0..=1.0).contains(&out.final_lambda));
+    }
+
+    #[test]
+    fn cpos_experiment_runs() {
+        let config = ExperimentConfig::two_miner(ProtocolKind::CPos, 0.2, 0.01, 50);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let out = run_experiment(&config, &mut rng);
+        assert_eq!(out.lambda_series.len(), config.checkpoints.len());
+        // C-PoS concentrates fast; final λ should be near 0.2 already.
+        assert!((out.final_lambda - 0.2).abs() < 0.08, "{}", out.final_lambda);
+    }
+
+    #[test]
+    fn experiments_are_deterministic_per_seed() {
+        let config = ExperimentConfig::two_miner(ProtocolKind::MlPos, 0.3, 0.01, 50);
+        let a = run_experiment(&config, &mut Xoshiro256StarStar::new(9));
+        let b = run_experiment(&config, &mut Xoshiro256StarStar::new(9));
+        let c = run_experiment(&config, &mut Xoshiro256StarStar::new(10));
+        assert_eq!(a, b);
+        assert!(a != c || a.final_stakes == c.final_stakes);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bad_checkpoints_rejected() {
+        let mut config = ExperimentConfig::two_miner(ProtocolKind::MlPos, 0.2, 0.01, 100);
+        config.checkpoints = vec![50, 50];
+        let mut rng = Xoshiro256StarStar::new(1);
+        let _ = run_experiment(&config, &mut rng);
+    }
+}

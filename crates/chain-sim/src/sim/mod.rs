@@ -1,0 +1,133 @@
+//! Discrete-event simulation scaffolding.
+//!
+//! The network simulation is event-driven: lotteries produce blocks at
+//! simulated tick times, blocks propagate to peers after a configurable
+//! delay, and the clock only ever moves forward. [`EventQueue`] is a
+//! deterministic priority queue (ties broken by insertion order) shared by
+//! the network harness.
+
+pub mod experiment;
+pub mod network;
+
+pub use experiment::{ExperimentConfig, ExperimentOutcome, ProtocolKind};
+pub use network::{NetworkConfig, NetworkSim};
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A deterministic time-ordered event queue.
+///
+/// Events at equal times pop in insertion order, so simulations are
+/// reproducible regardless of how events were generated.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(u64, u64, EventSlot<E>)>>,
+    seq: u64,
+}
+
+/// Wrapper making the payload inert for ordering purposes.
+#[derive(Debug, Clone)]
+struct EventSlot<E>(E);
+
+impl<E> PartialEq for EventSlot<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventSlot<E> {}
+impl<E> PartialOrd for EventSlot<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventSlot<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: u64, event: E) {
+        self.heap.push(Reverse((at, self.seq, EventSlot(event))));
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, E)> {
+        self.heap.pop().map(|Reverse((t, _, slot))| (t, slot.0))
+    }
+
+    /// Time of the next event without popping.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.pop(), Some((5, 2)));
+        assert_eq!(q.pop(), Some((5, 3)));
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(7, ());
+        q.schedule(3, ());
+        assert_eq!(q.peek_time(), Some(3));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Property-based tests for the blockchain substrate.
+
+use chain_sim::{
+    nxt_adjust_base_target, proportional_split, sha256, Hash256, HashBuilder, Ledger, MerkleTree,
+    MinerProfile, SlPosEngine, Transaction, U256,
+};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- SHA-256 ----------------
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let d1 = sha256(&data);
+        let d2 = sha256(&data);
+        prop_assert_eq!(d1, d2);
+        // Flipping any single bit changes the digest.
+        if !data.is_empty() {
+            let mut tampered = data.clone();
+            tampered[0] ^= 1;
+            prop_assert_ne!(sha256(&tampered), d1);
+        }
+    }
+
+    #[test]
+    fn sha256_incremental_chunking_invariant(
+        data in prop::collection::vec(any::<u8>(), 0..600),
+        split in any::<usize>(),
+    ) {
+        let mut h = chain_sim::Sha256::new();
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    // ---------------- U256 ----------------
+
+    #[test]
+    fn u256_add_commutes_and_associates(a in any::<u128>(), b in any::<u128>(), c in any::<u128>()) {
+        let (x, y, z) = (U256::from_u128(a), U256::from_u128(b), U256::from_u128(c));
+        prop_assert_eq!(x.wrapping_add(y), y.wrapping_add(x));
+        prop_assert_eq!(x.wrapping_add(y).wrapping_add(z), x.wrapping_add(y.wrapping_add(z)));
+    }
+
+    #[test]
+    fn u256_mul_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (U256::from_u64(a), U256::from_u64(b), U256::from_u64(c));
+        // (x + y) * z == x*z + y*z (all fit in 256 bits from 64-bit inputs).
+        let lhs = (x.wrapping_add(y)).wrapping_mul(z);
+        let rhs = x.wrapping_mul(z).wrapping_add(y.wrapping_mul(z));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn u256_ordering_consistent_with_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(U256::from_u128(a).cmp(&U256::from_u128(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn u256_display_matches_u128(v in any::<u128>()) {
+        prop_assert_eq!(U256::from_u128(v).to_string(), v.to_string());
+    }
+
+    // ---------------- ledger ----------------
+
+    #[test]
+    fn ledger_transfers_conserve_supply(
+        balances in prop::collection::vec(1u64..1_000_000, 2..6),
+        moves in prop::collection::vec((0usize..6, 0usize..6, 1u64..5_000), 0..30),
+    ) {
+        let alloc: Vec<_> = balances
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (chain_sim::Address::for_miner(i), b))
+            .collect();
+        let mut ledger = Ledger::with_genesis(&alloc);
+        let supply = ledger.total_supply();
+        for (from, to, amount) in moves {
+            let from_addr = chain_sim::Address::for_miner(from % balances.len());
+            let to_addr = chain_sim::Address::for_miner(to % balances.len());
+            let nonce = ledger.nonce(&from_addr);
+            // Transfers may fail (insufficient funds, self-transfer ok);
+            // either way supply must not change.
+            let _ = ledger.transfer(from_addr, to_addr, amount, nonce);
+            prop_assert_eq!(ledger.total_supply(), supply);
+            prop_assert!(ledger.check_supply_invariant());
+        }
+    }
+
+    #[test]
+    fn split_then_credit_preserves_atoms(
+        total in 0u64..10_000_000,
+        weights in prop::collection::vec(1u64..1_000, 1..10),
+    ) {
+        let shares = proportional_split(total, &weights);
+        let mut ledger = Ledger::new();
+        for (i, &s) in shares.iter().enumerate() {
+            ledger.credit(chain_sim::Address::for_miner(i), s).unwrap();
+        }
+        prop_assert_eq!(ledger.total_supply(), total);
+    }
+
+    // ---------------- merkle ----------------
+
+    #[test]
+    fn merkle_root_deterministic_and_order_sensitive(n in 2usize..24, swap in 0usize..24) {
+        let leaves: Vec<Hash256> = (0..n as u64)
+            .map(|i| HashBuilder::new("mp").u64(i).finish())
+            .collect();
+        let root = MerkleTree::build(&leaves).root();
+        prop_assert_eq!(MerkleTree::build(&leaves).root(), root);
+        let i = swap % n;
+        let j = (swap + 1) % n;
+        if i != j {
+            let mut swapped = leaves.clone();
+            swapped.swap(i, j);
+            prop_assert_ne!(MerkleTree::build(&swapped).root(), root);
+        }
+    }
+
+    // ---------------- transactions ----------------
+
+    #[test]
+    fn transaction_ids_injective_on_fields(
+        amount in 1u64..1_000_000,
+        fee in 0u64..1_000,
+        nonce in 0u64..1_000,
+    ) {
+        let a = chain_sim::Address::for_miner(0);
+        let b = chain_sim::Address::for_miner(1);
+        let tx = Transaction::transfer(a, b, amount, fee, nonce);
+        prop_assert!(tx.verify_auth());
+        let other = Transaction::transfer(a, b, amount + 1, fee, nonce);
+        prop_assert_ne!(tx.id(), other.id());
+    }
+
+    // ---------------- wire codec ----------------
+
+    #[test]
+    fn block_codec_roundtrip(
+        height in any::<u64>(),
+        timestamp in any::<u64>(),
+        nonce in any::<u64>(),
+        txs in prop::collection::vec((0u64..1_000_000, 0u64..1_000, 0u64..1_000), 0..12),
+    ) {
+        let proposer = chain_sim::Address::for_miner(0);
+        let mut body = vec![Transaction::coinbase(proposer, 50, height)];
+        for (amount, fee, nonce) in txs {
+            body.push(Transaction::transfer(
+                chain_sim::Address::for_miner(1),
+                chain_sim::Address::for_miner(2),
+                amount + 1,
+                fee,
+                nonce,
+            ));
+        }
+        let block = chain_sim::Block::assemble(
+            height,
+            HashBuilder::new("parent").u64(height).finish(),
+            timestamp,
+            U256::from_u128(nonce as u128) << 64u32,
+            nonce,
+            proposer,
+            body,
+        );
+        let decoded = chain_sim::decode_block(chain_sim::encode_block(&block))
+            .expect("roundtrip decode");
+        prop_assert_eq!(&decoded, &block);
+        prop_assert_eq!(decoded.hash(), block.hash());
+        prop_assert!(decoded.merkle_root_valid());
+    }
+
+    // ---------------- difficulty ----------------
+
+    #[test]
+    fn nxt_retarget_stays_in_band(
+        time in 1u64..10_000,
+        steps in 1usize..60,
+    ) {
+        let init = U256::ONE << 150u32;
+        let mut t = init;
+        for _ in 0..steps {
+            t = nxt_adjust_base_target(t, init, time, 100);
+        }
+        let min_t = init.div_rem(U256::from_u64(50)).0;
+        let max_t = init.saturating_mul(U256::from_u64(50));
+        prop_assert!(t >= min_t && t <= max_t);
+    }
+
+    // ---------------- SL-PoS determinism ----------------
+
+    #[test]
+    fn slpos_lottery_is_pure_function_of_chain_state(
+        stakes in prop::collection::vec(1u64..1_000_000, 2..6),
+        tag in any::<u64>(),
+    ) {
+        let miners: Vec<MinerProfile> =
+            (0..stakes.len()).map(|i| MinerProfile::new(i, 0)).collect();
+        let prev = HashBuilder::new("prev").u64(tag).finish();
+        let engine = SlPosEngine::new(1000);
+        let mut rng = fairness_stats::rng::Xoshiro256StarStar::new(1);
+        let a = chain_sim::BlockLottery::run(&engine, &prev, 1, &miners, &stakes, &mut rng);
+        let b = chain_sim::BlockLottery::run(&engine, &prev, 1, &miners, &stakes, &mut rng);
+        prop_assert_eq!(a, b);
+        prop_assert!(chain_sim::BlockLottery::verify(&engine, &prev, 1, &miners, &stakes, &a));
+    }
+}

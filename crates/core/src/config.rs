@@ -1,0 +1,227 @@
+//! Serializable experiment configuration.
+//!
+//! One declarative description covering every game in the paper, so the
+//! bench harness (and downstream users) can specify experiments as data.
+
+use crate::fairness::EpsilonDelta;
+use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+use crate::withholding::WithholdingSchedule;
+use serde::{Deserialize, Serialize};
+
+/// Protocol selector plus parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ProtocolConfig {
+    /// PoW with block reward `w` (hash shares = initial shares).
+    Pow {
+        /// Block reward, normalized.
+        reward: f64,
+    },
+    /// ML-PoS with block reward `w`.
+    MlPos {
+        /// Block reward, normalized.
+        reward: f64,
+    },
+    /// SL-PoS with block reward `w`.
+    SlPos {
+        /// Block reward, normalized.
+        reward: f64,
+    },
+    /// FSL-PoS with block reward `w`.
+    FslPos {
+        /// Block reward, normalized.
+        reward: f64,
+    },
+    /// C-PoS with proposer reward `w`, inflation `v`, `P` shards.
+    CPos {
+        /// Proposer reward per epoch.
+        proposer_reward: f64,
+        /// Inflation (attester) reward per epoch.
+        inflation_reward: f64,
+        /// Shards per epoch.
+        shards: u32,
+    },
+    /// NEO-style non-compounding PoS.
+    Neo {
+        /// Block reward (in the separate asset).
+        reward: f64,
+    },
+    /// Algorand-style inflation-only rewards.
+    Algorand {
+        /// Inflation per step.
+        inflation: f64,
+    },
+    /// EOS-style equal proposer pay plus proportional inflation.
+    Eos {
+        /// Proposer budget per round.
+        proposer_reward: f64,
+        /// Inflation budget per round.
+        inflation_reward: f64,
+    },
+}
+
+impl ProtocolConfig {
+    /// Protocol display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolConfig::Pow { .. } => "PoW",
+            ProtocolConfig::MlPos { .. } => "ML-PoS",
+            ProtocolConfig::SlPos { .. } => "SL-PoS",
+            ProtocolConfig::FslPos { .. } => "FSL-PoS",
+            ProtocolConfig::CPos { .. } => "C-PoS",
+            ProtocolConfig::Neo { .. } => "NEO",
+            ProtocolConfig::Algorand { .. } => "Algorand",
+            ProtocolConfig::Eos { .. } => "EOS",
+        }
+    }
+}
+
+/// A fully specified experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameConfig {
+    /// Protocol and parameters.
+    pub protocol: ProtocolConfig,
+    /// Initial resource shares (miner 0 is tracked).
+    pub initial_shares: Vec<f64>,
+    /// Checkpoints for statistics.
+    pub checkpoints: Vec<u64>,
+    /// Monte-Carlo repetitions.
+    pub repetitions: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fairness parameters.
+    pub eps_delta: EpsilonDelta,
+    /// Optional withholding schedule.
+    pub withholding: Option<WithholdingSchedule>,
+}
+
+impl GameConfig {
+    /// Runs the configured ensemble, dispatching on the protocol.
+    #[must_use]
+    pub fn run(&self) -> crate::montecarlo::EnsembleSummary {
+        let ec = crate::montecarlo::EnsembleConfig {
+            initial_shares: self.initial_shares.clone(),
+            checkpoints: self.checkpoints.clone(),
+            repetitions: self.repetitions,
+            seed: self.seed,
+            eps_delta: self.eps_delta,
+            withholding: self.withholding,
+        };
+        match &self.protocol {
+            ProtocolConfig::Pow { reward } => {
+                crate::montecarlo::run_ensemble(&Pow::new(&self.initial_shares, *reward), &ec)
+            }
+            ProtocolConfig::MlPos { reward } => {
+                crate::montecarlo::run_ensemble(&MlPos::new(*reward), &ec)
+            }
+            ProtocolConfig::SlPos { reward } => {
+                crate::montecarlo::run_ensemble(&SlPos::new(*reward), &ec)
+            }
+            ProtocolConfig::FslPos { reward } => {
+                crate::montecarlo::run_ensemble(&FslPos::new(*reward), &ec)
+            }
+            ProtocolConfig::CPos {
+                proposer_reward,
+                inflation_reward,
+                shards,
+            } => crate::montecarlo::run_ensemble(
+                &CPos::new(*proposer_reward, *inflation_reward, *shards),
+                &ec,
+            ),
+            ProtocolConfig::Neo { reward } => {
+                crate::montecarlo::run_ensemble(&Neo::new(&self.initial_shares, *reward), &ec)
+            }
+            ProtocolConfig::Algorand { inflation } => {
+                crate::montecarlo::run_ensemble(&Algorand::new(*inflation), &ec)
+            }
+            ProtocolConfig::Eos {
+                proposer_reward,
+                inflation_reward,
+            } => crate::montecarlo::run_ensemble(
+                &Eos::new(*proposer_reward, *inflation_reward),
+                &ec,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(protocol: ProtocolConfig) -> GameConfig {
+        GameConfig {
+            protocol,
+            initial_shares: vec![0.2, 0.8],
+            checkpoints: vec![50, 100],
+            repetitions: 200,
+            seed: 1,
+            eps_delta: EpsilonDelta::default(),
+            withholding: None,
+        }
+    }
+
+    #[test]
+    fn dispatch_runs_every_protocol() {
+        let protocols = vec![
+            ProtocolConfig::Pow { reward: 0.01 },
+            ProtocolConfig::MlPos { reward: 0.01 },
+            ProtocolConfig::SlPos { reward: 0.01 },
+            ProtocolConfig::FslPos { reward: 0.01 },
+            ProtocolConfig::CPos {
+                proposer_reward: 0.01,
+                inflation_reward: 0.1,
+                shards: 32,
+            },
+            ProtocolConfig::Neo { reward: 0.01 },
+            ProtocolConfig::Algorand { inflation: 0.1 },
+            ProtocolConfig::Eos {
+                proposer_reward: 0.01,
+                inflation_reward: 0.1,
+            },
+        ];
+        for p in protocols {
+            let name = p.name();
+            let summary = quick_config(p).run();
+            assert_eq!(summary.protocol, name);
+            assert_eq!(summary.points.len(), 2);
+        }
+    }
+
+    #[test]
+    fn algorand_absolutely_fair() {
+        let summary = quick_config(ProtocolConfig::Algorand { inflation: 0.1 }).run();
+        let last = summary.final_point();
+        assert!((last.mean - 0.2).abs() < 1e-12);
+        assert_eq!(last.unfair_probability, 0.0);
+        assert!((last.p95 - last.p05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eos_expectationally_unfair() {
+        // Constant proposer pay: miner A with 20% stake earns
+        // w/2 + v·s_A/Σs per step — strictly more than 20% of (w + v) at
+        // every step, and the excess compounds into her stake, so the mean
+        // reward fraction sits clearly above the fair share.
+        let summary = quick_config(ProtocolConfig::Eos {
+            proposer_reward: 0.01,
+            inflation_reward: 0.1,
+        })
+        .run();
+        let last = summary.final_point();
+        let static_floor = (0.005 + 0.1 * 0.2) / 0.11; // ≈ 0.227, pre-compounding
+        assert!(
+            last.mean > static_floor - 1e-9,
+            "{} should exceed the static floor {static_floor}",
+            last.mean
+        );
+        assert!(last.mean > 0.2 + 0.01, "small delegate over-paid");
+    }
+
+    #[test]
+    fn configs_are_serializable() {
+        // Compile-time check that GameConfig satisfies the serde bounds.
+        fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
+        assert_serde::<GameConfig>();
+    }
+}

@@ -1,0 +1,228 @@
+//! Decentralization metrics over stake distributions.
+//!
+//! Section 6.5 argues that unfair incentives erode decentralization until
+//! 51%-style attacks become cheap. These metrics quantify that erosion on
+//! game end-states (and on `chain-sim` ledgers):
+//!
+//! * [`gini`] — the Gini coefficient of the stake distribution (0 =
+//!   perfectly equal, → 1 = fully concentrated);
+//! * [`hhi`] — the Herfindahl–Hirschman index, Σ share² (1/m for equal
+//!   shares, 1 for monopoly);
+//! * [`nakamoto_coefficient`] — the minimum number of parties controlling
+//!   a majority of the resource (1 means a single 51% attacker exists);
+//! * [`largest_share`] — the top miner's share, the direct 51%-attack
+//!   indicator.
+
+/// Gini coefficient of a non-negative distribution.
+///
+/// Returns 0 for an empty or all-zero input (a degenerate but harmless
+/// convention for freshly initialized games).
+#[must_use]
+pub fn gini(values: &[f64]) -> f64 {
+    let m = values.len();
+    if m == 0 {
+        return 0.0;
+    }
+    assert!(
+        values.iter().all(|&v| v.is_finite() && v >= 0.0),
+        "gini requires non-negative finite values"
+    );
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    // G = (2·Σ i·x_(i) / (m·Σx)) − (m+1)/m with 1-based ranks.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted / (m as f64 * total) - (m as f64 + 1.0) / m as f64).max(0.0)
+}
+
+/// Herfindahl–Hirschman index: the sum of squared resource shares.
+///
+/// # Panics
+/// Panics if `values` is empty or sums to zero.
+#[must_use]
+pub fn hhi(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "HHI of empty distribution");
+    let total: f64 = values.iter().sum();
+    assert!(total > 0.0, "HHI requires positive total");
+    values.iter().map(|&v| (v / total).powi(2)).sum()
+}
+
+/// Nakamoto coefficient: the smallest number of parties whose combined
+/// share exceeds `threshold` (default use: 0.5 for a 51% attack).
+///
+/// # Panics
+/// Panics if `values` is empty, sums to zero, or `threshold ∉ (0, 1)`.
+#[must_use]
+pub fn nakamoto_coefficient(values: &[f64], threshold: f64) -> usize {
+    assert!(!values.is_empty(), "Nakamoto coefficient of empty distribution");
+    assert!(
+        threshold > 0.0 && threshold < 1.0,
+        "threshold must be in (0,1), got {threshold}"
+    );
+    let total: f64 = values.iter().sum();
+    assert!(total > 0.0, "requires positive total");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let mut acc = 0.0;
+    for (i, v) in sorted.iter().enumerate() {
+        acc += v / total;
+        if acc > threshold {
+            return i + 1;
+        }
+    }
+    sorted.len()
+}
+
+/// The largest single share of the distribution.
+///
+/// # Panics
+/// Panics if `values` is empty or sums to zero.
+#[must_use]
+pub fn largest_share(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "largest share of empty distribution");
+    let total: f64 = values.iter().sum();
+    assert!(total > 0.0, "requires positive total");
+    values.iter().cloned().fold(0.0, f64::max) / total
+}
+
+/// Snapshot of all decentralization metrics for one stake distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecentralizationReport {
+    /// Gini coefficient.
+    pub gini: f64,
+    /// Herfindahl–Hirschman index.
+    pub hhi: f64,
+    /// Parties needed for > 50% control.
+    pub nakamoto: usize,
+    /// Largest single share.
+    pub largest_share: f64,
+}
+
+impl DecentralizationReport {
+    /// Computes all metrics.
+    ///
+    /// # Panics
+    /// Panics if `values` is empty or sums to zero.
+    #[must_use]
+    pub fn measure(values: &[f64]) -> Self {
+        Self {
+            gini: gini(values),
+            hhi: hhi(values),
+            nakamoto: nakamoto_coefficient(values, 0.5),
+            largest_share: largest_share(values),
+        }
+    }
+
+    /// Whether a single party already controls a majority (a standing 51%
+    /// attack).
+    #[must_use]
+    pub fn majority_controlled(&self) -> bool {
+        self.nakamoto == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_distribution_metrics() {
+        let shares = vec![0.25; 4];
+        let r = DecentralizationReport::measure(&shares);
+        assert!(r.gini.abs() < 1e-12);
+        assert!((r.hhi - 0.25).abs() < 1e-12);
+        assert_eq!(r.nakamoto, 3); // 0.25+0.25 = 0.5 is not > 0.5
+        assert!((r.largest_share - 0.25).abs() < 1e-12);
+        assert!(!r.majority_controlled());
+    }
+
+    #[test]
+    fn monopoly_metrics() {
+        let shares = vec![0.999, 0.0005, 0.0005];
+        let r = DecentralizationReport::measure(&shares);
+        assert!(r.gini > 0.6, "gini {}", r.gini);
+        assert!(r.hhi > 0.99);
+        assert_eq!(r.nakamoto, 1);
+        assert!(r.majority_controlled());
+    }
+
+    #[test]
+    fn gini_known_value_two_party() {
+        // Shares (0.2, 0.8): G = 2·(1·0.2 + 2·0.8)/(2·1) − 3/2 = 0.3.
+        assert!((gini(&[0.2, 0.8]) - 0.3).abs() < 1e-12);
+        // Scale invariance.
+        assert!((gini(&[2.0, 8.0]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_edge_cases() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0.0, 0.0]), 0.0);
+        assert_eq!(gini(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn hhi_ordering() {
+        assert!(hhi(&[0.5, 0.5]) < hhi(&[0.9, 0.1]));
+        assert!((hhi(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nakamoto_tie_handling() {
+        // 0.4 + 0.4 = 0.8 > 0.5 → 2 parties.
+        assert_eq!(nakamoto_coefficient(&[0.4, 0.4, 0.2], 0.5), 2);
+        // A 51% holder alone.
+        assert_eq!(nakamoto_coefficient(&[0.51, 0.49], 0.5), 1);
+        // Exactly 0.5 does not exceed the threshold.
+        assert_eq!(nakamoto_coefficient(&[0.5, 0.5], 0.5), 2);
+    }
+
+    #[test]
+    fn slpos_game_centralizes() {
+        use crate::game::MiningGame;
+        use crate::protocols::SlPos;
+        use fairness_stats::rng::Xoshiro256StarStar;
+
+        let mut game = MiningGame::new(SlPos::new(0.05), &crate::miner::equal_shares(5));
+        let mut rng = Xoshiro256StarStar::new(3);
+        let before = DecentralizationReport::measure(
+            &(0..5).map(|i| game.stake(i)).collect::<Vec<_>>(),
+        );
+        game.run(100_000, &mut rng);
+        let after = DecentralizationReport::measure(
+            &(0..5).map(|i| game.stake(i)).collect::<Vec<_>>(),
+        );
+        assert!(after.gini > before.gini + 0.3, "gini {} → {}", before.gini, after.gini);
+        assert!(after.majority_controlled(), "SL-PoS should centralize");
+    }
+
+    #[test]
+    fn mlpos_game_stays_decentralized_in_nakamoto() {
+        use crate::game::MiningGame;
+        use crate::protocols::MlPos;
+        use fairness_stats::rng::Xoshiro256StarStar;
+
+        let mut game = MiningGame::new(MlPos::new(0.01), &crate::miner::equal_shares(5));
+        let mut rng = Xoshiro256StarStar::new(5);
+        game.run(20_000, &mut rng);
+        let report = DecentralizationReport::measure(
+            &(0..5).map(|i| game.stake(i)).collect::<Vec<_>>(),
+        );
+        // ML-PoS spreads but rarely collapses to a single majority holder
+        // from an equal start at small w.
+        assert!(report.nakamoto >= 2, "nakamoto {}", report.nakamoto);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total")]
+    fn hhi_rejects_zero_total() {
+        let _ = hhi(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,332 @@
+//! The mining game engine (Section 3.1's model, executable).
+//!
+//! A [`MiningGame`] holds the per-miner staking powers and cumulative
+//! earnings, steps a protocol forward one block/epoch at a time, and
+//! maintains the invariants of the paper's model:
+//!
+//! * initial stakes sum to 1 (Assumption 2);
+//! * each step issues exactly `reward_per_step` (Assumption 3);
+//! * miners take no actions (Assumption 4) — the only state change is the
+//!   protocol's reward allocation;
+//! * for compounding protocols, total staking power after `n` steps is
+//!   `1 + n·w` (checked in debug builds);
+//! * with a withholding schedule, rewards count toward income immediately
+//!   but join staking power only at period boundaries (Section 6.3).
+
+use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::trajectory::Trajectory;
+use crate::withholding::WithholdingSchedule;
+use fairness_stats::rng::Xoshiro256StarStar;
+
+/// A running mining game.
+#[derive(Debug, Clone)]
+pub struct MiningGame<P: IncentiveProtocol> {
+    protocol: P,
+    /// Effective staking power per miner.
+    stakes: Vec<f64>,
+    /// Issued-but-not-yet-effective rewards per miner (withholding only).
+    pending: Vec<f64>,
+    /// Cumulative income per miner.
+    earned: Vec<f64>,
+    /// Completed steps.
+    steps: u64,
+    /// Optional reward-withholding schedule.
+    withholding: Option<WithholdingSchedule>,
+}
+
+impl<P: IncentiveProtocol> MiningGame<P> {
+    /// Starts a game from normalized initial shares.
+    ///
+    /// # Panics
+    /// Panics if `initial_shares` is invalid (empty, negative entries, zero
+    /// sum).
+    #[must_use]
+    pub fn new(protocol: P, initial_shares: &[f64]) -> Self {
+        let stakes = crate::miner::normalize_shares(initial_shares);
+        let m = stakes.len();
+        Self {
+            protocol,
+            stakes,
+            pending: vec![0.0; m],
+            earned: vec![0.0; m],
+            steps: 0,
+            withholding: None,
+        }
+    }
+
+    /// Enables reward withholding.
+    #[must_use]
+    pub fn with_withholding(mut self, schedule: WithholdingSchedule) -> Self {
+        self.withholding = Some(schedule);
+        self
+    }
+
+    /// The protocol under test.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// Number of miners.
+    #[must_use]
+    pub fn miner_count(&self) -> usize {
+        self.stakes.len()
+    }
+
+    /// Completed steps.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Effective staking power of miner `i`.
+    #[must_use]
+    pub fn stake(&self, i: usize) -> f64 {
+        self.stakes[i]
+    }
+
+    /// Cumulative income of miner `i`.
+    #[must_use]
+    pub fn earned(&self, i: usize) -> f64 {
+        self.earned[i]
+    }
+
+    /// Total reward issued so far.
+    #[must_use]
+    pub fn total_issued(&self) -> f64 {
+        self.steps as f64 * self.protocol.reward_per_step()
+    }
+
+    /// The paper's `λ_i`: miner `i`'s fraction of all issued rewards.
+    /// Zero before the first step.
+    ///
+    /// Clamped to `[0, 1]`: summing per-step rewards can land one ulp above
+    /// the product `n·w`, and downstream fairness checks rely on λ being a
+    /// genuine fraction.
+    #[must_use]
+    pub fn lambda(&self, i: usize) -> f64 {
+        let issued = self.total_issued();
+        if issued == 0.0 {
+            0.0
+        } else {
+            (self.earned[i] / issued).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Advances one step.
+    pub fn step(&mut self, rng: &mut Xoshiro256StarStar) {
+        let rewards = self.protocol.step(&self.stakes, self.steps, rng);
+        let total = self.protocol.reward_per_step();
+        match &rewards {
+            StepRewards::Winner(w) => {
+                self.earned[*w] += total;
+                if self.protocol.rewards_compound() {
+                    if self.withholding.is_some() {
+                        self.pending[*w] += total;
+                    } else {
+                        self.stakes[*w] += total;
+                    }
+                }
+            }
+            StepRewards::Split(alloc) => {
+                assert_eq!(
+                    alloc.len(),
+                    self.stakes.len(),
+                    "protocol returned wrong allocation length"
+                );
+                debug_assert!(
+                    (alloc.iter().sum::<f64>() - total).abs() < 1e-9,
+                    "allocation must sum to the step reward"
+                );
+                for (i, &r) in alloc.iter().enumerate() {
+                    self.earned[i] += r;
+                    if self.protocol.rewards_compound() {
+                        if self.withholding.is_some() {
+                            self.pending[i] += r;
+                        } else {
+                            self.stakes[i] += r;
+                        }
+                    }
+                }
+            }
+        }
+        self.steps += 1;
+        if let Some(schedule) = self.withholding {
+            if schedule.takes_effect_after(self.steps) {
+                for (s, p) in self.stakes.iter_mut().zip(&mut self.pending) {
+                    *s += std::mem::take(p);
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        self.check_invariants();
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: u64, rng: &mut Xoshiro256StarStar) {
+        for _ in 0..n {
+            self.step(rng);
+        }
+    }
+
+    /// Runs to `horizon` steps, recording miner 0's λ at each checkpoint.
+    ///
+    /// # Panics
+    /// Panics if checkpoints are not strictly ascending or exceed the
+    /// horizon, or the game has already advanced beyond the first
+    /// checkpoint.
+    pub fn run_with_checkpoints(
+        &mut self,
+        checkpoints: &[u64],
+        rng: &mut Xoshiro256StarStar,
+    ) -> Trajectory {
+        let all = self.run_with_checkpoints_all(checkpoints, rng);
+        all.into_iter().next().expect("at least one miner")
+    }
+
+    /// Runs to the last checkpoint, recording **every** miner's λ at each
+    /// checkpoint; returns one trajectory per miner.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as
+    /// [`run_with_checkpoints`](Self::run_with_checkpoints).
+    pub fn run_with_checkpoints_all(
+        &mut self,
+        checkpoints: &[u64],
+        rng: &mut Xoshiro256StarStar,
+    ) -> Vec<Trajectory> {
+        assert!(
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
+            "checkpoints must be strictly ascending"
+        );
+        let m = self.miner_count();
+        let mut values: Vec<Vec<f64>> = vec![Vec::with_capacity(checkpoints.len()); m];
+        for &cp in checkpoints {
+            assert!(
+                cp >= self.steps,
+                "checkpoint {cp} is before current step {}",
+                self.steps
+            );
+            self.run(cp - self.steps, rng);
+            for (i, column) in values.iter_mut().enumerate() {
+                column.push(self.lambda(i));
+            }
+        }
+        values
+            .into_iter()
+            .map(|v| Trajectory {
+                checkpoints: checkpoints.to_vec(),
+                values: v,
+            })
+            .collect()
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_invariants(&self) {
+        let issued = self.total_issued();
+        let earned: f64 = self.earned.iter().sum();
+        debug_assert!(
+            (earned - issued).abs() < 1e-6 * (1.0 + issued),
+            "earned {earned} != issued {issued}"
+        );
+        if self.protocol.rewards_compound() {
+            let power: f64 =
+                self.stakes.iter().sum::<f64>() + self.pending.iter().sum::<f64>();
+            debug_assert!(
+                (power - (1.0 + issued)).abs() < 1e-6 * (1.0 + issued),
+                "staking power {power} != 1 + issued {issued}"
+            );
+        }
+        debug_assert!(self.stakes.iter().all(|&s| s >= 0.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{CPos, MlPos, Pow, SlPos};
+
+    #[test]
+    fn stake_conservation_mlpos() {
+        let mut game = MiningGame::new(MlPos::new(0.01), &[0.2, 0.8]);
+        let mut rng = Xoshiro256StarStar::new(1);
+        game.run(500, &mut rng);
+        let total: f64 = (0..2).map(|i| game.stake(i)).sum();
+        assert!((total - (1.0 + 500.0 * 0.01)).abs() < 1e-9, "{total}");
+        assert_eq!(game.steps(), 500);
+    }
+
+    #[test]
+    fn lambda_sums_to_one() {
+        let mut game = MiningGame::new(CPos::paper_default(), &[0.2, 0.3, 0.5]);
+        let mut rng = Xoshiro256StarStar::new(2);
+        game.run(100, &mut rng);
+        let total: f64 = (0..3).map(|i| game.lambda(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn pow_stakes_never_change() {
+        let mut game = MiningGame::new(Pow::new(&[0.2, 0.8], 0.01), &[0.2, 0.8]);
+        let mut rng = Xoshiro256StarStar::new(3);
+        game.run(200, &mut rng);
+        assert!((game.stake(0) - 0.2).abs() < 1e-15);
+        assert!((game.stake(1) - 0.8).abs() < 1e-15);
+        assert!(game.earned(0) + game.earned(1) > 0.0);
+    }
+
+    #[test]
+    fn lambda_zero_before_start() {
+        let game = MiningGame::new(MlPos::new(0.01), &[0.5, 0.5]);
+        assert_eq!(game.lambda(0), 0.0);
+    }
+
+    #[test]
+    fn withholding_freezes_stakes_between_checkpoints() {
+        let schedule = WithholdingSchedule::every(100);
+        let mut game =
+            MiningGame::new(MlPos::new(0.01), &[0.2, 0.8]).with_withholding(schedule);
+        let mut rng = Xoshiro256StarStar::new(4);
+        game.run(99, &mut rng);
+        // Nothing effective yet: stakes still at initial values.
+        assert!((game.stake(0) - 0.2).abs() < 1e-12);
+        assert!((game.stake(1) - 0.8).abs() < 1e-12);
+        // Income nonetheless accrued.
+        assert!(game.earned(0) + game.earned(1) > 0.98 * 0.01 * 99.0);
+        game.run(1, &mut rng);
+        // At step 100 the pending rewards land.
+        let total: f64 = (0..2).map(|i| game.stake(i)).sum();
+        assert!((total - 2.0).abs() < 1e-9, "{total}"); // 1 + 100*0.01
+    }
+
+    #[test]
+    fn checkpoint_trajectory() {
+        let mut game = MiningGame::new(MlPos::new(0.01), &[0.2, 0.8]);
+        let mut rng = Xoshiro256StarStar::new(5);
+        let traj = game.run_with_checkpoints(&[10, 50, 100], &mut rng);
+        assert_eq!(traj.checkpoints, vec![10, 50, 100]);
+        assert_eq!(traj.values.len(), 3);
+        assert!(traj.values.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(game.steps(), 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut game = MiningGame::new(SlPos::new(0.01), &[0.2, 0.8]);
+            let mut rng = Xoshiro256StarStar::new(seed);
+            game.run(200, &mut rng);
+            (game.earned(0), game.stake(0))
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bad_checkpoints_rejected() {
+        let mut game = MiningGame::new(MlPos::new(0.01), &[0.5, 0.5]);
+        let mut rng = Xoshiro256StarStar::new(6);
+        let _ = game.run_with_checkpoints(&[10, 10], &mut rng);
+    }
+}

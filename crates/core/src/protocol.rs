@@ -1,0 +1,79 @@
+//! The abstract incentive-protocol interface.
+//!
+//! A protocol is a rule mapping the current staking-power vector to a
+//! (random) reward allocation for one step. The [`crate::game::MiningGame`]
+//! applies the allocation to the state — crediting earnings and, for PoS
+//! protocols, compounding them into staking power (immediately, or on a
+//! withholding schedule per Section 6.3).
+
+use fairness_stats::rng::Xoshiro256StarStar;
+
+/// Reward allocation of one step (block or epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepRewards {
+    /// A single proposer takes the whole step reward.
+    Winner(usize),
+    /// The step reward is split across miners (entries sum to the step
+    /// reward) — C-PoS epochs, inflation-only protocols, etc.
+    Split(Vec<f64>),
+}
+
+impl StepRewards {
+    /// Reward earned by miner `i` given the step's total reward.
+    #[must_use]
+    pub fn amount_for(&self, i: usize, total: f64) -> f64 {
+        match self {
+            StepRewards::Winner(w) => {
+                if *w == i {
+                    total
+                } else {
+                    0.0
+                }
+            }
+            StepRewards::Split(v) => v.get(i).copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// An incentive protocol, in the paper's normalized units: initial stakes
+/// sum to 1 and rewards are fractions thereof (Assumptions 2–3).
+pub trait IncentiveProtocol: Send + Sync {
+    /// Protocol name as used in the paper.
+    fn name(&self) -> &'static str;
+
+    /// Total reward issued per step (the paper's `w`, or `w + v` for
+    /// C-PoS epochs).
+    fn reward_per_step(&self) -> f64;
+
+    /// Whether earned rewards compound into future staking power. `false`
+    /// for PoW/NEO-style protocols whose lottery resource is external to
+    /// the reward asset.
+    fn rewards_compound(&self) -> bool {
+        true
+    }
+
+    /// Draws one step's allocation given the current staking powers
+    /// (`stakes` need not be normalized; protocols use relative weights).
+    fn step(&self, stakes: &[f64], step_index: u64, rng: &mut Xoshiro256StarStar) -> StepRewards;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn winner_amounts() {
+        let r = StepRewards::Winner(1);
+        assert_eq!(r.amount_for(1, 0.5), 0.5);
+        assert_eq!(r.amount_for(0, 0.5), 0.0);
+        assert_eq!(r.amount_for(7, 0.5), 0.0);
+    }
+
+    #[test]
+    fn split_amounts() {
+        let r = StepRewards::Split(vec![0.1, 0.4]);
+        assert_eq!(r.amount_for(0, 0.5), 0.1);
+        assert_eq!(r.amount_for(1, 0.5), 0.4);
+        assert_eq!(r.amount_for(2, 0.5), 0.0);
+    }
+}

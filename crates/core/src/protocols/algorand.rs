@@ -1,0 +1,83 @@
+//! Algorand-style incentive (Section 6.4).
+//!
+//! Algorand distributes only *inflation* rewards, proportional to wallet
+//! stakes, with no proposer reward. The allocation is deterministic given
+//! stakes, so every outcome equals the expectation: absolutely fair
+//! ((0, 0)-fairness) — at the cost, the paper notes, of weak participation
+//! incentives.
+
+use super::{assert_positive_reward, total_stake};
+use crate::protocol::{IncentiveProtocol, StepRewards};
+use fairness_stats::rng::Xoshiro256StarStar;
+
+/// Algorand-style inflation-only rewards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Algorand {
+    inflation: f64,
+}
+
+impl Algorand {
+    /// Creates a game distributing `inflation` per step proportionally.
+    ///
+    /// # Panics
+    /// Panics if the inflation reward is non-positive.
+    #[must_use]
+    pub fn new(inflation: f64) -> Self {
+        assert_positive_reward(inflation);
+        Self { inflation }
+    }
+}
+
+impl IncentiveProtocol for Algorand {
+    fn name(&self) -> &'static str {
+        "Algorand"
+    }
+
+    fn reward_per_step(&self) -> f64 {
+        self.inflation
+    }
+
+    fn step(&self, stakes: &[f64], _step: u64, _rng: &mut Xoshiro256StarStar) -> StepRewards {
+        let total = total_stake(stakes);
+        StepRewards::Split(
+            stakes
+                .iter()
+                .map(|&s| self.inflation * s / total)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_proportional_split() {
+        let alg = Algorand::new(0.1);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let StepRewards::Split(r) = alg.step(&[0.2, 0.8], 0, &mut rng) else {
+            panic!("Algorand must split");
+        };
+        assert!((r[0] - 0.02).abs() < 1e-15);
+        assert!((r[1] - 0.08).abs() < 1e-15);
+    }
+
+    #[test]
+    fn share_ratios_invariant_under_compounding() {
+        // s_i' = s_i (1 + v/Σs): proportions never change.
+        let alg = Algorand::new(0.1);
+        let mut rng = Xoshiro256StarStar::new(2);
+        let mut stakes = vec![0.2, 0.8];
+        for i in 0..100 {
+            let StepRewards::Split(r) = alg.step(&stakes, i, &mut rng) else {
+                unreachable!()
+            };
+            for (s, x) in stakes.iter_mut().zip(&r) {
+                *s += x;
+            }
+        }
+        let total: f64 = stakes.iter().sum();
+        assert!((stakes[0] / total - 0.2).abs() < 1e-12);
+    }
+}

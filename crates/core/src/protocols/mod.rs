@@ -1,0 +1,45 @@
+//! Protocol implementations.
+//!
+//! The four protocols the paper analyzes in depth — [`Pow`], [`MlPos`],
+//! [`SlPos`], [`CPos`] — plus the FSL-PoS treatment ([`FslPos`], Section
+//! 6.2) and the Section 6.4 sketches ([`Neo`], [`Algorand`], [`Eos`]).
+//!
+//! All operate in the paper's normalized units (initial stakes sum to 1,
+//! rewards are fractions of that) and are validated in tests against the
+//! hash-level engines of `chain-sim` and against the closed forms of
+//! [`crate::theory`].
+
+mod algorand;
+mod cpos;
+mod eos;
+mod fslpos;
+mod mlpos;
+mod neo;
+mod pow;
+mod slpos;
+
+pub use algorand::Algorand;
+pub use cpos::CPos;
+pub use eos::Eos;
+pub use fslpos::FslPos;
+pub use mlpos::MlPos;
+pub use neo::Neo;
+pub use pow::Pow;
+pub use slpos::SlPos;
+
+pub(crate) fn assert_positive_reward(w: f64) {
+    assert!(
+        w.is_finite() && w > 0.0,
+        "block reward must be positive, got {w}"
+    );
+}
+
+pub(crate) fn total_stake(stakes: &[f64]) -> f64 {
+    assert!(!stakes.is_empty(), "protocol step requires miners");
+    let total: f64 = stakes.iter().sum();
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total staking power must be positive, got {total}"
+    );
+    total
+}

@@ -1,0 +1,528 @@
+//! The paper's theorems, executable.
+//!
+//! Each submodule corresponds to a protocol and implements the closed-form
+//! and bound results of Sections 3 and 4 plus Lemma 6.1, so simulations can
+//! be checked against theory (and vice versa):
+//!
+//! | Result | Code |
+//! |---|---|
+//! | Thm 4.2 (PoW sufficient `n`) | [`pow::sufficient_n`] |
+//! | PoW exact `Δ(ε; n, a)` | [`pow::exact_unfair_probability`] |
+//! | Thm 4.3 (ML-PoS condition) | [`mlpos::sufficient_condition`] |
+//! | ML-PoS Pólya-urn limit | [`mlpos::limit_distribution`] |
+//! | ML-PoS exact finite-`n` law | [`mlpos::exact_unfair_probability`] |
+//! | Eq. 1 / Fig. 1 (SL-PoS win prob) | [`slpos::win_probability_two_miner`] |
+//! | Thm 4.9 (SL-PoS drift/stability) | [`slpos::drift`], [`slpos::zeros`] |
+//! | Lemma 6.1 (multi-miner SL-PoS) | [`slpos::win_probabilities`] |
+//! | Thm 4.10 (C-PoS condition) | [`cpos::sufficient_condition`] |
+
+use crate::fairness::EpsilonDelta;
+
+/// Theorem 3.2 / 4.2 — Proof-of-Work.
+pub mod pow {
+    use super::EpsilonDelta;
+    use fairness_stats::dist::{Binomial, DiscreteDistribution};
+
+    /// Theorem 4.2: PoW preserves `(ε, δ)`-fairness for share `a` whenever
+    /// `n ≥ ln(2/δ)/(2a²ε²)`. Returns that sufficient horizon.
+    ///
+    /// # Panics
+    /// Panics unless `0 < a < 1`, `ε > 0` and `0 < δ < 1`.
+    #[must_use]
+    pub fn sufficient_n(a: f64, ed: EpsilonDelta) -> u64 {
+        assert!(a > 0.0 && a < 1.0, "share must be in (0,1), got {a}");
+        assert!(ed.epsilon > 0.0, "epsilon must be positive");
+        assert!(ed.delta > 0.0 && ed.delta < 1.0, "delta must be in (0,1)");
+        ((2.0 / ed.delta).ln() / (2.0 * a * a * ed.epsilon * ed.epsilon)).ceil() as u64
+    }
+
+    /// The Hoeffding bound of Theorem 4.2 on the unfair probability:
+    /// `Pr[λ ∉ fair area] ≤ 2·exp(−2·n·a²·ε²)`.
+    #[must_use]
+    pub fn hoeffding_unfair_bound(n: u64, a: f64, epsilon: f64) -> f64 {
+        fairness_stats::concentration::hoeffding_tail(n, a * epsilon)
+    }
+
+    /// The exact unfair probability `1 − Δ(ε; n, a)` from the binomial law
+    /// of Section 4.2: the win count is `Bin(n, a)` and the fair area in
+    /// counts is `⌈n(1−ε)a⌉ … ⌊n(1+ε)a⌋`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `a ∉ (0,1)`.
+    #[must_use]
+    pub fn exact_unfair_probability(n: u64, a: f64, epsilon: f64) -> f64 {
+        assert!(n > 0, "need at least one block");
+        assert!(a > 0.0 && a < 1.0, "share must be in (0,1), got {a}");
+        let bin = Binomial::new(n, a);
+        let lo = (n as f64 * (1.0 - epsilon) * a).ceil() as u64;
+        let hi = ((n as f64 * (1.0 + epsilon) * a).floor() as u64).min(n);
+        if lo > hi {
+            return 1.0;
+        }
+        let below = if lo == 0 { 0.0 } else { bin.cdf(lo - 1) };
+        let fair = bin.cdf(hi) - below;
+        (1.0 - fair).clamp(0.0, 1.0)
+    }
+}
+
+/// Theorem 3.3 / 4.3 — Multi-lottery PoS.
+pub mod mlpos {
+    use super::EpsilonDelta;
+    use fairness_stats::dist::Beta;
+    use fairness_stats::polya::PolyaUrn;
+
+    /// Theorem 4.3: ML-PoS preserves `(ε, δ)`-fairness whenever
+    /// `1/n + w ≤ 2a²ε²/ln(2/δ)`.
+    #[must_use]
+    pub fn sufficient_condition(n: u64, w: f64, a: f64, ed: EpsilonDelta) -> bool {
+        assert!(n > 0, "need at least one block");
+        1.0 / n as f64 + w <= threshold(a, ed)
+    }
+
+    /// The right-hand side `2a²ε²/ln(2/δ)` of Theorem 4.3.
+    #[must_use]
+    pub fn threshold(a: f64, ed: EpsilonDelta) -> f64 {
+        assert!(a > 0.0 && a < 1.0, "share must be in (0,1), got {a}");
+        assert!(ed.epsilon > 0.0 && ed.delta > 0.0 && ed.delta < 1.0);
+        2.0 * a * a * ed.epsilon * ed.epsilon / (2.0 / ed.delta).ln()
+    }
+
+    /// Largest block reward for which Theorem 4.3 certifies fairness at
+    /// horizon `n` (`None` if no positive reward qualifies).
+    #[must_use]
+    pub fn max_reward_for_fairness(n: u64, a: f64, ed: EpsilonDelta) -> Option<f64> {
+        let w = threshold(a, ed) - 1.0 / n as f64;
+        (w > 0.0).then_some(w)
+    }
+
+    /// The Azuma bound from the proof of Theorem 4.3:
+    /// `Pr[unfair] ≤ 2·exp(−2·n·a²ε²/(1 + n·w))`.
+    #[must_use]
+    pub fn azuma_unfair_bound(n: u64, w: f64, a: f64, epsilon: f64) -> f64 {
+        let exponent = -2.0 * n as f64 * a * a * epsilon * epsilon / (1.0 + n as f64 * w);
+        (2.0 * exponent.exp()).min(1.0)
+    }
+
+    /// The Pólya-urn limit law of Section 4.3: `λ_A → Beta(a/w, (1−a)/w)`
+    /// almost surely.
+    #[must_use]
+    pub fn limit_distribution(a: f64, w: f64) -> Beta {
+        assert!(a > 0.0 && a < 1.0, "share must be in (0,1), got {a}");
+        assert!(w > 0.0, "reward must be positive, got {w}");
+        Beta::new(a / w, (1.0 - a) / w)
+    }
+
+    /// Asymptotic unfair probability from the limit law:
+    /// `1 − [I_{(1+ε)a}(a/w, b/w) − I_{(1−ε)a}(a/w, b/w)]`.
+    #[must_use]
+    pub fn limit_unfair_probability(a: f64, w: f64, epsilon: f64) -> f64 {
+        use fairness_stats::dist::ContinuousDistribution;
+        let beta = limit_distribution(a, w);
+        let fair = beta.cdf((1.0 + epsilon) * a) - beta.cdf((1.0 - epsilon) * a);
+        (1.0 - fair).clamp(0.0, 1.0)
+    }
+
+    /// Exact finite-`n` unfair probability via the Pólya-urn dynamic
+    /// program (`O(n²)`; practical to the paper's `n = 5000`).
+    #[must_use]
+    pub fn exact_unfair_probability(n: usize, a: f64, w: f64, epsilon: f64) -> f64 {
+        assert!(n > 0, "need at least one block");
+        let urn = PolyaUrn::new(a, 1.0 - a, w);
+        1.0 - urn.exact_fraction_probability(n, (1.0 - epsilon) * a, (1.0 + epsilon) * a)
+    }
+}
+
+/// Theorem 3.4 / 4.9 and Lemma 6.1 — Single-lottery PoS.
+pub mod slpos {
+    use fairness_stats::sa::{classify_zero, find_zeros, Stability};
+
+    /// The two-miner win probability of the miner holding fraction `z`
+    /// (Section 2.3 / Figure 1): `z/(2(1−z))` for `z ≤ ½`, else
+    /// `1 − (1−z)/(2z)`. Boundary values 0 and 1 are absorbing.
+    ///
+    /// # Panics
+    /// Panics if `z ∉ [0, 1]`.
+    #[must_use]
+    pub fn win_probability_two_miner(z: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&z), "share must be in [0,1], got {z}");
+        if z == 0.0 {
+            0.0
+        } else if z == 1.0 {
+            1.0
+        } else if z <= 0.5 {
+            z / (2.0 * (1.0 - z))
+        } else {
+            1.0 - (1.0 - z) / (2.0 * z)
+        }
+    }
+
+    /// The drift `f(z) = E[X | Z = z] − z` of the stochastic-approximation
+    /// process (Eq. 2 in the proof of Theorem 4.9).
+    #[must_use]
+    pub fn drift(z: f64) -> f64 {
+        win_probability_two_miner(z) - z
+    }
+
+    /// Zeros of the drift on `[0, 1]` with their stability classification —
+    /// Theorem 4.9's `{0 (stable), ½ (unstable), 1 (stable)}`.
+    #[must_use]
+    pub fn zeros() -> Vec<(f64, Stability)> {
+        find_zeros(&drift, 1000, 1e-12)
+            .into_iter()
+            .map(|q| (q, classify_zero(&drift, q, 0.01)))
+            .collect()
+    }
+
+    /// Lemma 6.1: exact win probabilities for `m` miners with stakes
+    /// `s_1..s_m` under the `U_i/s_i` race:
+    ///
+    /// ```text
+    /// Pr[i wins] = ∫₀^{1/s_max} s_i ∏_{j≠i} (1 − s_j z) dz
+    /// ```
+    ///
+    /// evaluated exactly by expanding the polynomial product.
+    ///
+    /// # Panics
+    /// Panics if `stakes` is empty, contains a negative value, or sums to
+    /// zero.
+    #[must_use]
+    pub fn win_probabilities(stakes: &[f64]) -> Vec<f64> {
+        assert!(!stakes.is_empty(), "need at least one miner");
+        for (i, &s) in stakes.iter().enumerate() {
+            assert!(
+                s.is_finite() && s >= 0.0,
+                "stake[{i}] must be non-negative, got {s}"
+            );
+        }
+        let s_max = stakes.iter().cloned().fold(0.0f64, f64::max);
+        assert!(s_max > 0.0, "total stake must be positive");
+        let upper = 1.0 / s_max;
+        stakes
+            .iter()
+            .enumerate()
+            .map(|(i, &si)| {
+                if si == 0.0 {
+                    return 0.0;
+                }
+                // Coefficients of ∏_{j≠i}(1 − s_j z).
+                let mut coeffs = vec![1.0f64];
+                for (j, &sj) in stakes.iter().enumerate() {
+                    if j == i {
+                        continue;
+                    }
+                    let mut next = vec![0.0f64; coeffs.len() + 1];
+                    for (k, &c) in coeffs.iter().enumerate() {
+                        next[k] += c;
+                        next[k + 1] -= c * sj;
+                    }
+                    coeffs = next;
+                }
+                // ∫₀^U Σ c_k z^k dz = Σ c_k U^{k+1}/(k+1).
+                let mut integral = 0.0;
+                let mut u_pow = upper;
+                for (k, &c) in coeffs.iter().enumerate() {
+                    integral += c * u_pow / (k as f64 + 1.0);
+                    u_pow *= upper;
+                }
+                si * integral
+            })
+            .collect()
+    }
+
+    /// Theorem 3.4's immediate corollary: the expectational-fairness gap
+    /// `a − Pr[A wins]` of the first block. Positive for `a < ½` (the poor
+    /// miner is under-paid), negative for `a > ½`, zero at `a = ½`.
+    #[must_use]
+    pub fn first_block_gap(a: f64) -> f64 {
+        a - win_probability_two_miner(a)
+    }
+}
+
+/// Theorem 3.5 / 4.10 — Compound PoS.
+pub mod cpos {
+    use super::EpsilonDelta;
+
+    /// The left-hand side `w²(1/n + w + v)/((w+v)²·P)` of Theorem 4.10.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 1`, `P ≥ 1`, `w > 0` and `v ≥ 0`.
+    #[must_use]
+    pub fn condition_lhs(n: u64, w: f64, v: f64, shards: u32) -> f64 {
+        assert!(n > 0, "need at least one epoch");
+        assert!(shards >= 1, "need at least one shard");
+        assert!(w > 0.0, "proposer reward must be positive");
+        assert!(v >= 0.0, "inflation reward must be non-negative");
+        let wv = w + v;
+        w * w * (1.0 / n as f64 + wv) / (wv * wv * shards as f64)
+    }
+
+    /// Theorem 4.10: C-PoS preserves `(ε, δ)`-fairness whenever
+    /// `w²(1/n + w + v)/((w+v)²·P) ≤ 2a²ε²/ln(2/δ)`.
+    #[must_use]
+    pub fn sufficient_condition(
+        n: u64,
+        w: f64,
+        v: f64,
+        shards: u32,
+        a: f64,
+        ed: EpsilonDelta,
+    ) -> bool {
+        condition_lhs(n, w, v, shards) <= super::mlpos::threshold(a, ed)
+    }
+
+    /// The Azuma bound from the proof of Theorem 4.10:
+    /// `Pr[unfair] ≤ 2·exp(−2·γ²·P/(w²(1+(w+v)n)·n))` with
+    /// `γ = n·a·(w+v)·ε`.
+    #[must_use]
+    pub fn azuma_unfair_bound(
+        n: u64,
+        w: f64,
+        v: f64,
+        shards: u32,
+        a: f64,
+        epsilon: f64,
+    ) -> f64 {
+        let wv = w + v;
+        let gamma = n as f64 * a * wv * epsilon;
+        let denom = w * w * (1.0 + wv * n as f64) * n as f64;
+        let exponent = -2.0 * gamma * gamma * shards as f64 / denom;
+        (2.0 * exponent.exp()).min(1.0)
+    }
+
+    /// Smallest shard count `P` for which Theorem 4.10 certifies fairness
+    /// (`None` if even `P → ∞` cannot, which never happens for positive
+    /// thresholds since the LHS ↓ 0 in `P`).
+    #[must_use]
+    pub fn min_shards_for_fairness(
+        n: u64,
+        w: f64,
+        v: f64,
+        a: f64,
+        ed: EpsilonDelta,
+    ) -> Option<u32> {
+        let thr = super::mlpos::threshold(a, ed);
+        if thr <= 0.0 {
+            return None;
+        }
+        let wv = w + v;
+        let p = w * w * (1.0 / n as f64 + wv) / (wv * wv * thr);
+        let p = p.ceil().max(1.0);
+        (p <= u32::MAX as f64).then_some(p as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow_sufficient_n_paper_value() {
+        // a=0.2, ε=0.1, δ=0.1: ln(20)/(2·0.0004) ≈ 3745.
+        let n = pow::sufficient_n(0.2, EpsilonDelta::default());
+        assert_eq!(n, 3745);
+        // Larger shares need fewer blocks (Figure 3a ordering).
+        assert!(pow::sufficient_n(0.3, EpsilonDelta::default()) < n);
+        assert!(pow::sufficient_n(0.1, EpsilonDelta::default()) > n);
+    }
+
+    #[test]
+    fn pow_exact_unfair_decreases_with_n() {
+        let u100 = pow::exact_unfair_probability(100, 0.2, 0.1);
+        let u1000 = pow::exact_unfair_probability(1000, 0.2, 0.1);
+        let u5000 = pow::exact_unfair_probability(5000, 0.2, 0.1);
+        assert!(u100 > u1000 && u1000 > u5000, "{u100} {u1000} {u5000}");
+        // Near the empirical convergence point n≈1100 the exact value
+        // crosses δ=0.1 (Figure 3a).
+        assert!(u1000 > 0.05 && u1000 < 0.2, "u(1000) = {u1000}");
+        assert!(u5000 < 0.01, "u(5000) = {u5000}");
+    }
+
+    #[test]
+    fn pow_hoeffding_dominates_exact() {
+        // The bound must never undercut the exact probability.
+        for &n in &[50u64, 200, 1000, 4000] {
+            let exact = pow::exact_unfair_probability(n, 0.2, 0.1);
+            let bound = pow::hoeffding_unfair_bound(n, 0.2, 0.1);
+            assert!(bound >= exact - 1e-12, "n={n}: bound {bound} < exact {exact}");
+        }
+    }
+
+    #[test]
+    fn mlpos_condition_matches_paper_numbers() {
+        let ed = EpsilonDelta::default();
+        // 2a²ε²/ln(2/δ) ≈ 0.000267 for a=0.2 (paper quotes ≈ 0.00027).
+        let thr = mlpos::threshold(0.2, ed);
+        assert!((thr - 0.000267).abs() < 2e-5, "{thr}");
+        // w = 0.01 violates the condition at every n (Figure 2b analysis).
+        assert!(!mlpos::sufficient_condition(1_000_000, 0.01, 0.2, ed));
+        // w = 1e-4 satisfies it for large n.
+        assert!(mlpos::sufficient_condition(1_000_000, 1e-4, 0.2, ed));
+        assert!(!mlpos::sufficient_condition(1000, 1e-4, 0.2, ed)); // 1/n too big
+    }
+
+    #[test]
+    fn mlpos_max_reward() {
+        let ed = EpsilonDelta::default();
+        let w = mlpos::max_reward_for_fairness(100_000, 0.2, ed).expect("positive");
+        assert!(w > 0.0 && w < 0.000267);
+        assert!(mlpos::max_reward_for_fairness(100, 0.2, ed).is_none());
+    }
+
+    #[test]
+    fn mlpos_limit_law_mean_and_unfairness() {
+        use fairness_stats::dist::ContinuousDistribution;
+        let beta = mlpos::limit_distribution(0.2, 0.01);
+        assert!((beta.mean() - 0.2).abs() < 1e-12);
+        // Figure 5(a) ordering: smaller w → lower asymptotic unfairness.
+        let u4 = mlpos::limit_unfair_probability(0.2, 1e-4, 0.1);
+        let u3 = mlpos::limit_unfair_probability(0.2, 1e-3, 0.1);
+        let u2 = mlpos::limit_unfair_probability(0.2, 1e-2, 0.1);
+        let u1 = mlpos::limit_unfair_probability(0.2, 1e-1, 0.1);
+        assert!(u4 < u3 && u3 < u2 && u2 < u1, "{u4} {u3} {u2} {u1}");
+        assert!(u4 < 0.01, "w=1e-4 nearly fair: {u4}");
+        assert!(u1 > 0.85, "w=0.1 severely unfair: {u1}");
+        // w=0.01 plateaus above δ=0.1 — the headline ML-PoS result.
+        assert!(u2 > 0.1 && u2 < 0.8, "w=0.01: {u2}");
+    }
+
+    #[test]
+    fn mlpos_exact_approaches_limit() {
+        let exact = mlpos::exact_unfair_probability(4000, 0.2, 0.01, 0.1);
+        let limit = mlpos::limit_unfair_probability(0.2, 0.01, 0.1);
+        assert!(
+            (exact - limit).abs() < 0.05,
+            "exact {exact} vs limit {limit}"
+        );
+    }
+
+    #[test]
+    fn slpos_win_probability_shape() {
+        // Figure 1: below ½ the win probability is below the diagonal.
+        assert!((slpos::win_probability_two_miner(0.2) - 0.125).abs() < 1e-12);
+        assert!((slpos::win_probability_two_miner(0.5) - 0.5).abs() < 1e-12);
+        // Symmetry: p(z) + p(1−z) = 1.
+        for &z in &[0.1, 0.3, 0.45, 0.7] {
+            let sum = slpos::win_probability_two_miner(z)
+                + slpos::win_probability_two_miner(1.0 - z);
+            assert!((sum - 1.0).abs() < 1e-12, "z={z}");
+        }
+        assert_eq!(slpos::win_probability_two_miner(0.0), 0.0);
+        assert_eq!(slpos::win_probability_two_miner(1.0), 1.0);
+    }
+
+    #[test]
+    fn slpos_drift_zeros_and_stability() {
+        use fairness_stats::sa::Stability;
+        let zs = slpos::zeros();
+        assert_eq!(zs.len(), 3, "{zs:?}");
+        assert!((zs[0].0 - 0.0).abs() < 1e-6);
+        assert_eq!(zs[0].1, Stability::Stable);
+        assert!((zs[1].0 - 0.5).abs() < 1e-6);
+        assert_eq!(zs[1].1, Stability::Unstable);
+        assert!((zs[2].0 - 1.0).abs() < 1e-6);
+        assert_eq!(zs[2].1, Stability::Stable);
+    }
+
+    #[test]
+    fn slpos_lemma_6_1_two_miner_reduction() {
+        let p = slpos::win_probabilities(&[0.2, 0.8]);
+        assert!((p[0] - 0.125).abs() < 1e-12, "{}", p[0]);
+        assert!((p[1] - 0.875).abs() < 1e-12, "{}", p[1]);
+    }
+
+    #[test]
+    fn slpos_lemma_6_1_sums_to_one() {
+        for stakes in [
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![0.25; 4],
+            vec![0.2, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0],
+        ] {
+            let p = slpos::win_probabilities(&stakes);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{stakes:?}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn slpos_lemma_6_1_equal_stakes_proportional() {
+        // Lemma 6.1: proportionality holds only when all stakes are equal.
+        let p = slpos::win_probabilities(&[0.25; 4]);
+        for &pi in &p {
+            assert!((pi - 0.25).abs() < 1e-12, "{pi}");
+        }
+        // Unequal: the smallest miner wins strictly less than her share.
+        let q = slpos::win_probabilities(&[0.1, 0.3, 0.6]);
+        assert!(q[0] < 0.1, "{}", q[0]);
+        assert!(q[2] > 0.6, "{}", q[2]);
+    }
+
+    #[test]
+    fn slpos_lemma_6_1_matches_monte_carlo() {
+        use fairness_stats::rng::Xoshiro256StarStar;
+        let stakes = [0.15, 0.25, 0.6];
+        let exact = slpos::win_probabilities(&stakes);
+        let mut rng = Xoshiro256StarStar::new(11);
+        let n = 300_000;
+        let mut counts = [0u64; 3];
+        for _ in 0..n {
+            let w = crate::protocols::SlPos::sample_winner(&stakes, &mut rng);
+            counts[w] += 1;
+        }
+        for i in 0..3 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!(
+                (emp - exact[i]).abs() < 0.005,
+                "miner {i}: empirical {emp} vs exact {}",
+                exact[i]
+            );
+        }
+    }
+
+    #[test]
+    fn cpos_condition_paper_setting() {
+        let ed = EpsilonDelta::default();
+        // Figure 2(d): w=0.01, v=0.1, P=32, a=0.2 — robustly fair for
+        // large n by Theorem 4.10.
+        assert!(cpos::sufficient_condition(5000, 0.01, 0.1, 32, 0.2, ed));
+        // Without inflation or shards (v=0, P=1) it degenerates to the
+        // ML-PoS condition, which w=0.01 fails.
+        assert!(!cpos::sufficient_condition(5000, 0.01, 0.0, 1, 0.2, ed));
+    }
+
+    #[test]
+    fn cpos_degenerates_to_mlpos() {
+        // Theorem 4.10 with v=0, P=1 equals Theorem 4.3's LHS.
+        for &n in &[100u64, 1000, 10_000] {
+            let lhs = cpos::condition_lhs(n, 0.01, 0.0, 1);
+            let ml = 1.0 / n as f64 + 0.01;
+            assert!((lhs - ml).abs() < 1e-15, "n={n}: {lhs} vs {ml}");
+        }
+    }
+
+    #[test]
+    fn cpos_lhs_monotone_in_v_and_p() {
+        let base = cpos::condition_lhs(1000, 0.01, 0.0, 1);
+        let with_v = cpos::condition_lhs(1000, 0.01, 0.1, 1);
+        let with_p = cpos::condition_lhs(1000, 0.01, 0.0, 32);
+        assert!(with_v < base, "inflation helps: {with_v} vs {base}");
+        assert!(with_p < base, "shards help: {with_p} vs {base}");
+    }
+
+    #[test]
+    fn cpos_azuma_bound_decreases_with_v() {
+        let b0 = cpos::azuma_unfair_bound(1000, 0.01, 0.0, 32, 0.2, 0.1);
+        let b1 = cpos::azuma_unfair_bound(1000, 0.01, 0.01, 32, 0.2, 0.1);
+        let b2 = cpos::azuma_unfair_bound(1000, 0.01, 0.1, 32, 0.2, 0.1);
+        assert!(b2 < b1 && b1 <= b0, "{b2} {b1} {b0}");
+    }
+
+    #[test]
+    fn cpos_min_shards() {
+        let ed = EpsilonDelta::default();
+        let p = cpos::min_shards_for_fairness(5000, 0.01, 0.1, 0.2, ed).expect("finite");
+        assert!(p >= 1);
+        // With that many shards the condition holds; with far fewer it may
+        // not at small v.
+        assert!(cpos::sufficient_condition(5000, 0.01, 0.1, p, 0.2, ed));
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the fairness core: game invariants, theorem
+//! consistency and protocol laws over arbitrary parameters.
+
+use fairness_core::prelude::*;
+use fairness_core::protocol::StepRewards;
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- protocol step laws ----------------
+
+    #[test]
+    fn every_protocol_allocates_exactly_its_step_reward(
+        shares in prop::collection::vec(0.05f64..1.0, 2..6),
+        seed in any::<u64>(),
+    ) {
+        let total: f64 = shares.iter().sum();
+        let stakes: Vec<f64> = shares.iter().map(|s| s / total).collect();
+        let mut rng = Xoshiro256StarStar::new(seed);
+
+        let protocols: Vec<Box<dyn IncentiveProtocol>> = vec![
+            Box::new(Pow::new(&stakes, 0.01)),
+            Box::new(MlPos::new(0.01)),
+            Box::new(SlPos::new(0.01)),
+            Box::new(FslPos::new(0.01)),
+            Box::new(CPos::new(0.01, 0.1, 8)),
+            Box::new(Neo::new(&stakes, 0.01)),
+            Box::new(Algorand::new(0.1)),
+            Box::new(Eos::new(0.01, 0.1)),
+        ];
+        for p in &protocols {
+            let rewards = p.step(&stakes, 0, &mut rng);
+            let issued: f64 = match &rewards {
+                StepRewards::Winner(w) => {
+                    prop_assert!(*w < stakes.len(), "{} produced invalid winner", p.name());
+                    p.reward_per_step()
+                }
+                StepRewards::Split(v) => {
+                    prop_assert_eq!(v.len(), stakes.len());
+                    prop_assert!(v.iter().all(|&r| r >= -1e-12));
+                    v.iter().sum()
+                }
+            };
+            prop_assert!(
+                (issued - p.reward_per_step()).abs() < 1e-9,
+                "{} issued {} != {}",
+                p.name(), issued, p.reward_per_step()
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_is_always_a_distribution(
+        a in 0.05f64..0.95,
+        w in 0.001f64..0.1,
+        n in 1u64..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        macro_rules! check_game {
+            ($protocol:expr) => {{
+                let mut game = MiningGame::new($protocol, &two_miner(a));
+                game.run(n, &mut rng);
+                let l0 = game.lambda(0);
+                let l1 = game.lambda(1);
+                prop_assert!((0.0..=1.0).contains(&l0));
+                prop_assert!((l0 + l1 - 1.0).abs() < 1e-9);
+            }};
+        }
+        check_game!(MlPos::new(w));
+        check_game!(SlPos::new(w));
+        check_game!(FslPos::new(w));
+    }
+
+    // ---------------- theorem consistency ----------------
+
+    #[test]
+    fn pow_sufficient_n_passes_exact_check(a_pct in 10u32..60, eps_pct in 5u32..30) {
+        // The Hoeffding-derived n of Theorem 4.2 must make the *exact*
+        // binomial unfair probability ≤ δ too (the bound is conservative).
+        let a = f64::from(a_pct) / 100.0;
+        let eps = f64::from(eps_pct) / 100.0;
+        let ed = EpsilonDelta::new(eps, 0.1);
+        let n = theory::pow::sufficient_n(a, ed);
+        let exact = theory::pow::exact_unfair_probability(n, a, eps);
+        prop_assert!(exact <= ed.delta + 1e-9, "exact {} > delta at n={}", exact, n);
+    }
+
+    #[test]
+    fn mlpos_threshold_monotone_in_share(a1 in 0.05f64..0.5, a2 in 0.05f64..0.5) {
+        let ed = EpsilonDelta::default();
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        prop_assert!(
+            theory::mlpos::threshold(lo, ed) <= theory::mlpos::threshold(hi, ed) + 1e-15
+        );
+    }
+
+    #[test]
+    fn mlpos_limit_unfairness_monotone_in_w(a in 0.1f64..0.5, w1 in 0.001f64..0.2, w2 in 0.001f64..0.2) {
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+        let u_lo = theory::mlpos::limit_unfair_probability(a, lo, 0.1);
+        let u_hi = theory::mlpos::limit_unfair_probability(a, hi, 0.1);
+        prop_assert!(u_lo <= u_hi + 1e-9, "w={lo}:{u_lo} vs w={hi}:{u_hi}");
+    }
+
+    #[test]
+    fn slpos_win_prob_below_diagonal_for_minority(z in 0.001f64..0.5) {
+        let p = theory::slpos::win_probability_two_miner(z);
+        prop_assert!(p <= z + 1e-12, "minority should never be over-paid: {p} > {z}");
+        // And the complementary majority is over-paid.
+        let q = theory::slpos::win_probability_two_miner(1.0 - z);
+        prop_assert!(q >= 1.0 - z - 1e-12);
+    }
+
+    #[test]
+    fn lemma_6_1_largest_miner_always_advantaged(
+        raw in prop::collection::vec(0.01f64..1.0, 2..8),
+    ) {
+        let total: f64 = raw.iter().sum();
+        let stakes: Vec<f64> = raw.iter().map(|s| s / total).collect();
+        let probs = theory::slpos::win_probabilities(&stakes);
+        let (imax, &smax) = stakes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let (imin, &smin) = stakes
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        prop_assert!(probs[imax] >= smax - 1e-9, "largest under-paid");
+        prop_assert!(probs[imin] <= smin + 1e-9, "smallest over-paid");
+    }
+
+    #[test]
+    fn cpos_bound_dominates_mlpos_bound(n in 100u64..10_000, w_ppm in 100u64..50_000) {
+        // With any inflation or sharding, the C-PoS Azuma bound is at most
+        // the ML-PoS one (v = 0, P = 1 case).
+        let w = w_ppm as f64 / 1e6;
+        let ml = theory::mlpos::azuma_unfair_bound(n, w, 0.2, 0.1);
+        let cp = theory::cpos::azuma_unfair_bound(n, w, 0.1, 32, 0.2, 0.1);
+        prop_assert!(cp <= ml + 1e-12);
+    }
+
+    // ---------------- withholding ----------------
+
+    #[test]
+    fn withholding_schedule_effective_points(period in 1u64..10_000, issued in 1u64..1_000_000) {
+        let s = WithholdingSchedule::every(period);
+        let eff = s.effective_at(issued);
+        prop_assert!(eff >= issued);
+        prop_assert!(eff - issued < period);
+        prop_assert!(eff.is_multiple_of(period));
+    }
+
+    // ---------------- ensemble statistics ----------------
+
+    #[test]
+    fn band_points_are_ordered(seed in any::<u64>()) {
+        let config = EnsembleConfig {
+            checkpoints: vec![20, 60],
+            ..EnsembleConfig::paper_default(0.3, 60, 80, seed)
+        };
+        let summary = run_ensemble(&MlPos::new(0.02), &config);
+        for p in &summary.points {
+            prop_assert!(p.p05 <= p.mean + 1e-12);
+            prop_assert!(p.mean <= p.p95 + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&p.unfair_probability));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Confidence intervals for Monte-Carlo estimates.
+//!
+//! The paper reports point estimates over 10,000 repetitions; these
+//! helpers quantify the Monte-Carlo error so reproduction checks can use
+//! principled tolerances:
+//!
+//! * [`wilson_interval`] — for proportions (unfair probabilities, win
+//!   rates): well-behaved near 0 and 1 where the normal approximation
+//!   fails;
+//! * [`mean_interval`] — normal-approximation interval for sample means
+//!   (the `λ_A` averages).
+
+use crate::summary::Welford;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `value`.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Interval width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// Two-sided standard-normal quantile for the given confidence level via
+/// bisection on the CDF (e.g. 0.95 → 1.959964).
+///
+/// # Panics
+/// Panics unless `confidence ∈ (0, 1)`.
+#[must_use]
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0,1), got {confidence}"
+    );
+    let target = 0.5 + confidence / 2.0;
+    let (mut lo, mut hi) = (0.0f64, 40.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if crate::special::std_normal_cdf(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Wilson score interval for a proportion: `successes` out of `trials` at
+/// the given confidence level.
+///
+/// # Panics
+/// Panics if `trials == 0` or `successes > trials`.
+#[must_use]
+pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> ConfidenceInterval {
+    assert!(trials > 0, "Wilson interval needs at least one trial");
+    assert!(
+        successes <= trials,
+        "successes {successes} exceed trials {trials}"
+    );
+    let z = z_for_confidence(confidence);
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ConfidenceInterval {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Normal-approximation confidence interval for the mean of `samples`.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn mean_interval(samples: &[f64], confidence: f64) -> ConfidenceInterval {
+    assert!(!samples.is_empty(), "mean interval of empty sample");
+    let mut w = Welford::new();
+    for &x in samples {
+        w.push(x);
+    }
+    let z = z_for_confidence(confidence);
+    let half = z * w.std_error();
+    ConfidenceInterval {
+        estimate: w.mean(),
+        lo: w.mean() - half,
+        hi: w.mean() + half,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_quantiles_reference() {
+        assert!((z_for_confidence(0.95) - 1.959_964).abs() < 1e-4);
+        assert!((z_for_confidence(0.90) - 1.644_854).abs() < 1e-4);
+        assert!((z_for_confidence(0.99) - 2.575_829).abs() < 1e-4);
+    }
+
+    #[test]
+    fn wilson_half_successes() {
+        let ci = wilson_interval(50, 100, 0.95);
+        assert!((ci.estimate - 0.5).abs() < 1e-12);
+        assert!(ci.contains(0.5));
+        // Known value: Wilson 95% for 50/100 is ≈ [0.4038, 0.5962].
+        assert!((ci.lo - 0.4038).abs() < 0.001, "{}", ci.lo);
+        assert!((ci.hi - 0.5962).abs() < 0.001, "{}", ci.hi);
+    }
+
+    #[test]
+    fn wilson_handles_extremes() {
+        let zero = wilson_interval(0, 100, 0.95);
+        assert_eq!(zero.estimate, 0.0);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.05);
+        let all = wilson_interval(100, 100, 0.95);
+        assert_eq!(all.hi, 1.0);
+        assert!(all.lo > 0.95);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let small = wilson_interval(20, 100, 0.95);
+        let large = wilson_interval(2000, 10_000, 0.95);
+        assert!(large.width() < small.width() / 5.0);
+    }
+
+    #[test]
+    fn mean_interval_covers_true_mean() {
+        use crate::dist::{ContinuousDistribution, Normal};
+        use crate::rng::Xoshiro256StarStar;
+        // Coverage test: ~95% of intervals should contain the true mean.
+        let normal = Normal::new(3.0, 2.0);
+        let mut rng = Xoshiro256StarStar::new(1);
+        let mut covered = 0;
+        let runs = 400;
+        for _ in 0..runs {
+            let samples: Vec<f64> = (0..200).map(|_| normal.sample(&mut rng)).collect();
+            if mean_interval(&samples, 0.95).contains(3.0) {
+                covered += 1;
+            }
+        }
+        let rate = f64::from(covered) / f64::from(runs);
+        assert!((rate - 0.95).abs() < 0.05, "coverage {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn wilson_rejects_zero_trials() {
+        let _ = wilson_interval(0, 0, 0.95);
+    }
+}

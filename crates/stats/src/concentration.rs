@@ -1,0 +1,110 @@
+//! Concentration inequalities used by the robust-fairness theorems.
+//!
+//! * **Hoeffding** (Theorem 4.2): for `n` i.i.d. bounded variables, the PoW
+//!   reward fraction satisfies
+//!   `Pr[|λ_A − a| ≥ εa] ≤ 2·exp(−2n a² ε²)`.
+//! * **Azuma** (Theorems 4.3 and 4.10): for a martingale with bounded
+//!   differences `|M_i − M_{i−1}| ≤ c_i`,
+//!   `Pr[|M_n − M_0| ≥ γ] ≤ 2·exp(−2γ² / Σc_i²)`.
+
+/// Two-sided Hoeffding tail for the mean of `n` i.i.d. variables bounded in
+/// `[0, 1]`: `Pr[|X̄ − μ| ≥ t] ≤ 2 exp(−2 n t²)`.
+#[must_use]
+pub fn hoeffding_tail(n: u64, t: f64) -> f64 {
+    assert!(t >= 0.0, "deviation must be non-negative, got {t}");
+    (2.0 * (-2.0 * n as f64 * t * t).exp()).min(1.0)
+}
+
+/// Two-sided Azuma–Hoeffding tail for a martingale with bounded difference
+/// sum-of-squares `sum_sq = Σ_i c_i²`:
+/// `Pr[|M_n − M_0| ≥ γ] ≤ 2 exp(−γ² / (2·Σc_i²))`.
+///
+/// Note the paper uses the variant with symmetric ranges (difference range
+/// `Δmax − Δmin = 2c_i`), giving `2 exp(−2γ²/Σ(range_i)²)`; use
+/// [`azuma_tail_ranges`] for that exact form.
+#[must_use]
+pub fn azuma_tail(gamma: f64, sum_sq: f64) -> f64 {
+    assert!(gamma >= 0.0, "gamma must be non-negative, got {gamma}");
+    assert!(sum_sq > 0.0, "sum of squared differences must be positive");
+    (2.0 * (-(gamma * gamma) / (2.0 * sum_sq)).exp()).min(1.0)
+}
+
+/// Azuma tail in the *range* form used by the paper's proofs: if each
+/// martingale increment lies in an interval of length `range_i`, then
+/// `Pr[|M_n − M_0| ≥ γ] ≤ 2 exp(−2γ² / Σ range_i²)`.
+#[must_use]
+pub fn azuma_tail_ranges(gamma: f64, sum_sq_ranges: f64) -> f64 {
+    assert!(gamma >= 0.0, "gamma must be non-negative, got {gamma}");
+    assert!(sum_sq_ranges > 0.0, "sum of squared ranges must be positive");
+    (2.0 * (-2.0 * gamma * gamma / sum_sq_ranges).exp()).min(1.0)
+}
+
+/// Smallest `n` such that the Hoeffding bound guarantees
+/// `Pr[|X̄ − μ| ≥ t] ≤ δ`, i.e. `n ≥ ln(2/δ)/(2t²)`.
+#[must_use]
+pub fn hoeffding_sufficient_n(t: f64, delta: f64) -> u64 {
+    assert!(t > 0.0, "deviation must be positive, got {t}");
+    assert!(
+        delta > 0.0 && delta < 1.0,
+        "delta must be in (0,1), got {delta}"
+    );
+    ((2.0 / delta).ln() / (2.0 * t * t)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hoeffding_decreases_in_n() {
+        let t = 0.02;
+        let b1 = hoeffding_tail(100, t);
+        let b2 = hoeffding_tail(1000, t);
+        let b3 = hoeffding_tail(10_000, t);
+        assert!(b1 > b2 && b2 > b3);
+    }
+
+    #[test]
+    fn hoeffding_capped_at_one() {
+        assert_eq!(hoeffding_tail(1, 0.0), 1.0);
+    }
+
+    #[test]
+    fn hoeffding_paper_pow_example() {
+        // Theorem 4.2 with a=0.2, eps=0.1, delta=0.1:
+        // n >= ln(20) / (2 * 0.04 * 0.01) = ln(20)/0.0008 ≈ 3745.
+        let n = hoeffding_sufficient_n(0.2 * 0.1, 0.1);
+        assert_eq!(n, 3745);
+        // And the bound at that n is indeed <= delta.
+        assert!(hoeffding_tail(n, 0.02) <= 0.1 + 1e-12);
+        assert!(hoeffding_tail(n - 50, 0.02) > 0.1);
+    }
+
+    #[test]
+    fn azuma_matches_hoeffding_for_iid_case() {
+        // For i.i.d. bounded-in-[0,1] increments of the *sum*, ranges are 1
+        // each: Pr[|S_n - E S_n| >= n t] <= 2 exp(-2 n² t²/n) = 2exp(-2nt²).
+        let n = 500u64;
+        let t = 0.03;
+        let gamma = n as f64 * t;
+        let via_azuma = azuma_tail_ranges(gamma, n as f64);
+        let via_hoeffding = hoeffding_tail(n, t);
+        assert!((via_azuma - via_hoeffding).abs() < 1e-12);
+    }
+
+    #[test]
+    fn azuma_tail_monotone_in_gamma() {
+        let s = 0.5;
+        assert!(azuma_tail(1.5, s) > azuma_tail(2.0, s));
+        assert!(azuma_tail_ranges(1.0, s) > azuma_tail_ranges(2.0, s));
+        // Bounds are genuine probabilities.
+        assert!(azuma_tail(1.5, s) < 1.0);
+        assert!(azuma_tail(0.0, s) == 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn sufficient_n_rejects_zero_t() {
+        let _ = hoeffding_sufficient_n(0.0, 0.1);
+    }
+}

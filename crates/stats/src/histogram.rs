@@ -1,0 +1,227 @@
+//! Histograms and empirical CDFs for reward-fraction distributions.
+
+/// A fixed-width-bin histogram over a closed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `lo >= hi`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram requires lo < hi (lo={lo}, hi={hi})");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let bins = self.counts.len();
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * bins as f64) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations pushed (including under/overflow).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations above the range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Fraction of all observations falling in `[a, b]` (approximated by
+    /// whole bins whose centers lie in the interval).
+    #[must_use]
+    pub fn mass_in(&self, a: f64, b: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let mut inside = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let center = self.lo + (i as f64 + 0.5) * width;
+            if center >= a && center <= b {
+                inside += c;
+            }
+        }
+        inside as f64 / self.total as f64
+    }
+
+    /// Center coordinate of bin `i`.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+}
+
+/// Empirical cumulative distribution function over a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples (sorted internally).
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    #[must_use]
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF of empty sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Self { sorted: samples }
+    }
+
+    /// `F̂(x)` = fraction of samples ≤ `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when the
+        // predicate is `v <= x`.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty (never true by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Kolmogorov–Smirnov statistic against a reference CDF.
+    pub fn ks_statistic<F: Fn(f64) -> f64>(&self, cdf: F) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let f = cdf(x);
+            let lo = i as f64 / n;
+            let hi = (i + 1) as f64 / n;
+            d = d.max((f - lo).abs()).max((hi - f).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..100 {
+            h.push(i as f64 / 100.0);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+        // Every bin should contain exactly 10 of the evenly spaced points.
+        for &c in h.counts() {
+            assert_eq!(c, 10);
+        }
+    }
+
+    #[test]
+    fn histogram_overflow_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.5);
+        h.push(1.5);
+        h.push(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_boundary_values_included() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(0.0);
+        h.push(1.0);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[1], 1);
+    }
+
+    #[test]
+    fn histogram_mass_in_fair_area() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..1000 {
+            h.push(0.18 + 0.04 * (i as f64 / 1000.0)); // all inside [0.18, 0.22]
+        }
+        assert!((h.mass_in(0.17, 0.23) - 1.0).abs() < 1e-12);
+        assert!(h.mass_in(0.5, 0.9) < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_step_function() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn ks_statistic_uniform_sample() {
+        // Deterministic uniform grid should have tiny KS distance vs U(0,1).
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let e = Ecdf::new(samples);
+        let d = e.ks_statistic(|x| x.clamp(0.0, 1.0));
+        assert!(d < 0.002, "KS {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn ecdf_rejects_empty() {
+        let _ = Ecdf::new(vec![]);
+    }
+}

@@ -1,0 +1,366 @@
+//! Special functions needed by the fairness analysis.
+//!
+//! The paper's robust-fairness results lean on three analytic objects:
+//!
+//! * the **regularized incomplete beta function** `I_x(a, b)` — the limiting
+//!   distribution of the ML-PoS reward fraction is `Beta(a/w, b/w)`
+//!   (Section 4.3), so unfair probabilities have closed forms in `I_x`;
+//! * the **binomial CDF** (via `I_x`) — PoW robust fairness (Section 4.2);
+//! * the **regularized incomplete gamma function** — Poisson CDFs for the
+//!   PoW block-arrival model (Section 2.1).
+//!
+//! All implementations are self-contained `f64` routines with accuracy around
+//! 1e-12 over the parameter ranges exercised by the experiments, verified in
+//! the test suite against high-precision reference values.
+
+/// Natural log of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Lanczos approximation with g = 7, n = 9 coefficients; relative error
+/// below 1e-13 over the positive axis.
+///
+/// # Panics
+/// Panics if `x <= 0` (the analysis never needs the reflection branch, and
+/// silently returning garbage there would hide bugs).
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    // Lanczos coefficients (g = 7).
+    const G: f64 = 7.0;
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `x ∈ [0, 1]`.
+///
+/// Continued-fraction evaluation (Lentz's algorithm) with the symmetry
+/// transformation `I_x(a,b) = 1 − I_{1−x}(b,a)` applied when the fraction
+/// converges slowly.
+#[must_use]
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "reg_inc_beta requires a,b > 0 (a={a}, b={b})");
+    assert!((0.0..=1.0).contains(&x), "reg_inc_beta requires x in [0,1], got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    // Prefactor x^a (1-x)^b / (a B(a,b)), computed in log space.
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() + ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b);
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (ln_front.exp() / a) * beta_cf(a, b, x)
+    } else {
+        1.0 - (ln_front.exp() / b) * beta_cf(b, a, 1.0 - x)
+    }
+}
+
+/// Continued fraction for the incomplete beta function (Numerical Recipes
+/// style modified Lentz).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 400;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x)/Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise.
+#[must_use]
+pub fn reg_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "reg_lower_gamma requires a > 0, got {a}");
+    assert!(x >= 0.0, "reg_lower_gamma requires x >= 0, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x) = 1 − P(a, x)`.
+fn gamma_cf(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function `erf(x)`, accurate to ~1e-15 via its relation to the
+/// incomplete gamma function: `erf(x) = sign(x) · P(1/2, x²)`.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let p = reg_lower_gamma(0.5, x * x);
+    if x > 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Standard normal cumulative distribution function `Φ(z)`.
+#[must_use]
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// `ln` of the binomial coefficient `C(n, k)`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "ln_choose requires k <= n (n={n}, k={k})");
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_integer_factorials() {
+        // Γ(n) = (n-1)!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (i, f) in facts.iter().enumerate() {
+            close(ln_gamma(i as f64 + 1.0), f64::ln(*f), 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integers() {
+        // Γ(1/2) = √π, Γ(3/2) = √π/2, Γ(5/2) = 3√π/4.
+        let sqrt_pi = std::f64::consts::PI.sqrt();
+        close(ln_gamma(0.5), sqrt_pi.ln(), 1e-12);
+        close(ln_gamma(1.5), (sqrt_pi / 2.0).ln(), 1e-12);
+        close(ln_gamma(2.5), (3.0 * sqrt_pi / 4.0).ln(), 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_large_argument_stirling() {
+        // Compare to Stirling series at x = 1000 (very accurate there).
+        let x: f64 = 1000.0;
+        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
+            + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x * x * x);
+        close(ln_gamma(x), stirling, 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn inc_beta_boundaries() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn inc_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for &x in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            close(reg_inc_beta(1.0, 1.0, x), x, 1e-14);
+        }
+    }
+
+    #[test]
+    fn inc_beta_symmetry() {
+        // I_x(a,b) = 1 − I_{1−x}(b,a).
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.2), (20.0, 80.0, 0.21)] {
+            close(reg_inc_beta(a, b, x), 1.0 - reg_inc_beta(b, a, 1.0 - x), 1e-13);
+        }
+    }
+
+    #[test]
+    fn inc_beta_reference_values() {
+        // Reference values computed with mpmath.betainc(regularized=True).
+        close(reg_inc_beta(2.0, 3.0, 0.4), 0.5248, 1e-10);
+        close(reg_inc_beta(0.5, 0.5, 0.5), 0.5, 1e-12);
+        // Beta(a/w, b/w) with a=0.2, w=0.01 => Beta(20, 80); P(X <= 0.22):
+        close(reg_inc_beta(20.0, 80.0, 0.22), 0.704_324_066_438_300_4, 1e-9);
+    }
+
+    #[test]
+    fn inc_beta_is_binomial_cdf_complement() {
+        // P(Bin(n,p) >= k) = I_p(k, n-k+1).
+        let n = 10u64;
+        let p: f64 = 0.3;
+        let k = 4u64;
+        let direct: f64 = (k..=n)
+            .map(|i| {
+                (ln_choose(n, i) + (i as f64) * p.ln() + ((n - i) as f64) * (1.0 - p).ln()).exp()
+            })
+            .sum();
+        close(reg_inc_beta(k as f64, (n - k + 1) as f64, p), direct, 1e-12);
+    }
+
+    #[test]
+    fn lower_gamma_exponential_case() {
+        // P(1, x) = 1 − e^{-x}.
+        for &x in &[0.1, 1.0, 3.0, 10.0] {
+            close(reg_lower_gamma(1.0, x), 1.0 - (-x).exp(), 1e-13);
+        }
+    }
+
+    #[test]
+    fn lower_gamma_poisson_relation() {
+        // Q(k+1, λ) = P(Poisson(λ) <= k).
+        let lambda = 4.0f64;
+        let k = 6u64;
+        let direct: f64 = (0..=k)
+            .map(|i| (-lambda + (i as f64) * lambda.ln() - ln_gamma(i as f64 + 1.0)).exp())
+            .sum();
+        close(1.0 - reg_lower_gamma(k as f64 + 1.0, lambda), direct, 1e-12);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        close(erf(0.5), 0.520_499_877_813_046_5, 1e-12);
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        close(erf(2.0), 0.995_322_265_018_952_7, 1e-12);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+        assert_eq!(erf(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_tails() {
+        close(std_normal_cdf(0.0), 0.5, 1e-14);
+        close(std_normal_cdf(1.96), 0.975_002_104_851_780, 1e-9);
+        close(std_normal_cdf(-1.96) + std_normal_cdf(1.96), 1.0, 1e-13);
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        close(ln_choose(5, 2), 10.0f64.ln(), 1e-12);
+        close(ln_choose(10, 5), 252.0f64.ln(), 1e-12);
+        assert_eq!(ln_choose(7, 0), 0.0);
+        assert_eq!(ln_choose(7, 7), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Descriptive statistics: streaming moments and quantiles.
+//!
+//! The paper's figures report, at each checkpoint `n`, the sample mean of
+//! `λ_A` (orange line) and the 5th/95th percentiles (blue band edges). These
+//! helpers compute exactly those summaries over Monte-Carlo ensembles.
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; merging two accumulators is
+/// supported so per-thread results can be combined.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (0 when empty).
+    #[must_use]
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.variance() / self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (Chan et al. parallel
+    /// combination).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+}
+
+/// Computes the `q`-quantile (`0 <= q <= 1`) of `data` using linear
+/// interpolation between order statistics (R type-7, the default of most
+/// statistics packages).
+///
+/// `data` does not need to be sorted; a sorted copy is made internally.
+///
+/// # Panics
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Same as [`quantile`] but assumes `data` is already sorted ascending.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number summary plus mean: the exact statistics plotted per
+/// checkpoint in the paper's figures (mean, 5th and 95th percentiles) with
+/// min/median/max added for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Smallest observation.
+    pub min: f64,
+    /// 5th percentile (bottom of the paper's blue band).
+    pub p05: f64,
+    /// Median.
+    pub median: f64,
+    /// 95th percentile (top of the paper's blue band).
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Sample mean (the paper's orange line).
+    pub mean: f64,
+}
+
+impl FiveNumber {
+    /// Computes the summary of `data`.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    #[must_use]
+    pub fn from_samples(data: &[f64]) -> Self {
+        assert!(!data.is_empty(), "FiveNumber of empty data");
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summary input"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        Self {
+            min: sorted[0],
+            p05: quantile_sorted(&sorted, 0.05),
+            median: quantile_sorted(&sorted, 0.5),
+            p95: quantile_sorted(&sorted, 0.95),
+            max: *sorted.last().expect("non-empty"),
+            mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let var: f64 =
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-10);
+        assert_eq!(w.count(), 1000);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64).sqrt()).collect();
+        let mut all = Welford::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &data[..200] {
+            left.push(x);
+        }
+        for &x in &data[200..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), all.count());
+        assert!((left.mean() - all.mean()).abs() < 1e-12);
+        assert!((left.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(7.0);
+        assert_eq!(w1.mean(), 7.0);
+        assert_eq!(w1.variance(), 0.0);
+        let mut merged = Welford::new();
+        merged.merge(&w1);
+        assert_eq!(merged.mean(), 7.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert_eq!(quantile(&data, 0.5), 2.5);
+        assert!((quantile(&data, 1.0 / 3.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let data = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(quantile(&data, 0.5), 5.0);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let data: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = FiveNumber::from_samples(&data);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.p05 - 5.95).abs() < 1e-9, "{}", s.p05);
+        assert!((s.p95 - 95.05).abs() < 1e-9, "{}", s.p95);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+}

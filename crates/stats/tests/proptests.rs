@@ -1,0 +1,155 @@
+//! Property-based tests for the numerics substrate.
+
+use fairness_stats::dist::{
+    Bernoulli, Beta, Binomial, ContinuousDistribution, DiscreteDistribution, Exponential, Gamma,
+    Geometric, Normal, Poisson, Uniform,
+};
+use fairness_stats::polya::PolyaUrn;
+use fairness_stats::rng::{SeedSequence, Xoshiro256StarStar};
+use fairness_stats::special::{ln_gamma, reg_inc_beta, reg_lower_gamma};
+use fairness_stats::summary::{quantile, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------------- special functions ----------------
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence(x in 0.1f64..50.0) {
+        // ln Γ(x+1) = ln Γ(x) + ln x.
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn inc_beta_monotone_in_x(a in 0.2f64..20.0, b in 0.2f64..20.0,
+                              x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        prop_assert!(reg_inc_beta(a, b, lo) <= reg_inc_beta(a, b, hi) + 1e-12);
+    }
+
+    #[test]
+    fn inc_beta_symmetry_identity(a in 0.2f64..20.0, b in 0.2f64..20.0, x in 0.0f64..1.0) {
+        let lhs = reg_inc_beta(a, b, x);
+        let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_gamma_in_unit_range(a in 0.1f64..50.0, x in 0.0f64..100.0) {
+        let p = reg_lower_gamma(a, x);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+    }
+
+    // ---------------- distribution laws ----------------
+
+    #[test]
+    fn binomial_cdf_monotone_and_bounded(n in 1u64..200, p in 0.0f64..1.0) {
+        let bin = Binomial::new(n, p);
+        let mut prev = 0.0;
+        for k in 0..=n {
+            let c = bin.cdf(k);
+            prop_assert!(c >= prev - 1e-12, "cdf not monotone at {}", k);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            prev = c;
+        }
+        prop_assert!((bin.cdf(n) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometric_mean_matches_inverse_p(p in 0.01f64..1.0) {
+        let g = Geometric::new(p);
+        prop_assert!((g.mean() - 1.0 / p).abs() < 1e-12);
+        prop_assert!((g.cdf(1_000_000) - 1.0).abs() < 1e-6 || p < 1e-5);
+    }
+
+    #[test]
+    fn continuous_cdfs_bound_their_samples(seed in any::<u64>()) {
+        // For each continuous distribution, cdf(sample) must be in [0,1]
+        // and cdf must be monotone across two points.
+        let mut rng = Xoshiro256StarStar::new(seed);
+        type CdfProbe = Box<dyn Fn(&mut Xoshiro256StarStar) -> (f64, f64)>;
+        let dists: Vec<CdfProbe> = vec![
+            Box::new(|r| { let d = Uniform::new(-1.0, 3.0); let x = d.sample(r); (d.cdf(x), d.cdf(x + 0.5)) }),
+            Box::new(|r| { let d = Exponential::new(2.0); let x = d.sample(r); (d.cdf(x), d.cdf(x + 0.5)) }),
+            Box::new(|r| { let d = Normal::new(1.0, 2.0); let x = d.sample(r); (d.cdf(x), d.cdf(x + 0.5)) }),
+            Box::new(|r| { let d = Gamma::new(2.0, 1.5); let x = d.sample(r); (d.cdf(x), d.cdf(x + 0.5)) }),
+            Box::new(|r| { let d = Beta::new(2.0, 5.0); let x = d.sample(r); (d.cdf(x), d.cdf((x + 0.1).min(1.0))) }),
+        ];
+        for d in dists {
+            let (at, later) = d(&mut rng);
+            prop_assert!((0.0..=1.0).contains(&at));
+            prop_assert!(later >= at - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bernoulli_poisson_support(p in 0.0f64..1.0, lambda in 0.1f64..200.0, seed in any::<u64>()) {
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let b = Bernoulli::new(p);
+        prop_assert!(b.sample(&mut rng) <= 1);
+        let pois = Poisson::new(lambda);
+        let x = pois.sample(&mut rng);
+        // Loose tail bound: 20 standard deviations above the mean.
+        prop_assert!((x as f64) < lambda + 20.0 * lambda.sqrt() + 20.0);
+    }
+
+    // ---------------- Pólya urn ----------------
+
+    #[test]
+    fn polya_exact_distribution_is_probability(a in 0.05f64..0.95, w in 0.001f64..0.5,
+                                               n in 1usize..60) {
+        let urn = PolyaUrn::new(a, 1.0 - a, w);
+        let dist = urn.exact_win_distribution(n);
+        let total: f64 = dist.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(dist.iter().all(|&p| (-1e-12..=1.0 + 1e-12).contains(&p)));
+        // Expectational fairness at every n (Theorem 3.3).
+        let mean: f64 = dist.iter().enumerate().map(|(k, &p)| k as f64 * p).sum();
+        prop_assert!((mean / n as f64 - a).abs() < 1e-8);
+    }
+
+    // ---------------- summaries ----------------
+
+    #[test]
+    fn quantile_within_data_range(mut data in prop::collection::vec(-1e6f64..1e6, 1..200),
+                                  q in 0.0f64..1.0) {
+        let v = quantile(&data, q);
+        data.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v >= data[0] - 1e-9 && v <= data[data.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn welford_merge_any_split(data in prop::collection::vec(-1e3f64..1e3, 2..100),
+                               split in 0usize..100) {
+        let split = split % data.len();
+        let mut whole = Welford::new();
+        for &x in &data { whole.push(x); }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &data[..split] { left.push(x); }
+        for &x in &data[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    // ---------------- RNG determinism ----------------
+
+    #[test]
+    fn seed_sequence_is_pure(master in any::<u64>(), idx in any::<u64>()) {
+        let a = SeedSequence::new(master).child(idx);
+        let b = SeedSequence::new(master).child(idx);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xoshiro_streams_reproducible(seed in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::new(seed);
+        let mut b = Xoshiro256StarStar::new(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next(), b.next());
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Run a full hash-level blockchain — blocks, Merkle roots, ledger,
+//! mempool, difficulty — under two consensus engines, and watch fairness
+//! emerge from the mechanism rather than from closed-form sampling.
+//!
+//! This is the workspace's stand-in for the paper's EC2 deployments of
+//! Geth (PoW) and NXT (SL-PoS).
+//!
+//! ```sh
+//! cargo run --release --example chain_simulation
+//! ```
+
+use blockchain_fairness::chain::{
+    target_for_expected_interval, Engine, MlPosEngine, NetworkConfig, NetworkSim, PowEngine,
+    SlPosEngine,
+};
+use blockchain_fairness::stats::rng::Xoshiro256StarStar;
+
+fn describe(net: &NetworkSim, label: &str) {
+    let chain = net.chain();
+    let tip = chain.tip();
+    println!("\n=== {label} ===");
+    println!("height {} | clock {} ticks | supply {} atoms", chain.height(), net.clock(), net.ledger().total_supply());
+    println!("tip {} (merkle {})", tip.hash().short_hex(), tip.header.merkle_root.short_hex());
+    let user_txs: usize = chain
+        .iter()
+        .map(|b| b.transactions.iter().filter(|t| !t.is_coinbase()).count())
+        .sum();
+    println!("user transactions mined: {user_txs}");
+    println!(
+        "miner A: {} blocks won (λ = {:.4}), stake {} atoms",
+        net.wins(0),
+        net.win_fraction(0),
+        net.stake(0)
+    );
+    println!(
+        "miner B: {} blocks won (λ = {:.4}), stake {} atoms",
+        net.wins(1),
+        net.win_fraction(1),
+        net.stake(1)
+    );
+    assert!(net.ledger().check_supply_invariant(), "supply invariant");
+}
+
+fn main() {
+    let blocks = 2000;
+
+    // PoW network: hash power 20/80, like two Geth miners.
+    let mut rng = Xoshiro256StarStar::new(11);
+    let mut pow = NetworkSim::new(
+        NetworkConfig {
+            engine: Engine::Pow(PowEngine::new(target_for_expected_interval(10, 5))),
+            initial_stakes: vec![200_000, 800_000],
+            hash_rates: vec![2, 8],
+            block_reward: 10_000,
+            txs_per_block: 4,
+            propagation_delay: 1,
+            pow_retarget: None,
+        },
+        &mut rng,
+    );
+    pow.run_blocks(blocks, &mut rng);
+    describe(&pow, "PoW (Geth stand-in): λ_A should track hash power 0.2");
+
+    // ML-PoS network: stakes 20/80, like two Qtum stakers.
+    let mut rng = Xoshiro256StarStar::new(12);
+    let mut mlpos = NetworkSim::new(
+        NetworkConfig {
+            engine: Engine::MlPos(MlPosEngine::for_expected_interval(1_000_000, 64)),
+            initial_stakes: vec![200_000, 800_000],
+            hash_rates: vec![],
+            block_reward: 10_000,
+            txs_per_block: 4,
+            propagation_delay: 1,
+            pow_retarget: None,
+        },
+        &mut rng,
+    );
+    mlpos.run_blocks(blocks, &mut rng);
+    describe(&mlpos, "ML-PoS (Qtum stand-in): λ_A fair in expectation, wide spread");
+
+    // SL-PoS network: the NXT lottery — watch the poor miner fade.
+    let mut rng = Xoshiro256StarStar::new(13);
+    let mut slpos = NetworkSim::new(
+        NetworkConfig {
+            engine: Engine::SlPos(SlPosEngine::new(1_000)),
+            initial_stakes: vec![200_000, 800_000],
+            hash_rates: vec![],
+            block_reward: 10_000,
+            txs_per_block: 4,
+            propagation_delay: 1,
+            pow_retarget: None,
+        },
+        &mut rng,
+    );
+    slpos.run_blocks(blocks, &mut rng);
+    describe(&slpos, "SL-PoS (NXT stand-in): the rich get richer");
+
+    println!("\nall three chains validated block-by-block: headers, Merkle roots,");
+    println!("lottery proofs, ledger supply — fairness differences come purely from");
+    println!("the consensus rule.");
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # blockchain-fairness
+//!
+//! *Do the rich get richer?* A production-quality Rust reproduction of the
+//! fairness analysis for blockchain incentives by Huang, Tang, Cong, Lim
+//! and Xu (SIGMOD 2021).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] (`fairness-core`) — fairness definitions (expectational and
+//!   `(ε, δ)`-robust), the incentive protocols (PoW, ML-PoS, SL-PoS,
+//!   C-PoS, FSL-PoS, NEO/Algorand/EOS sketches), the mining-game engine,
+//!   Monte-Carlo ensembles, and every theorem of the paper as code;
+//! * [`chain`] (`chain-sim`) — the blockchain substrate: U256, SHA-256,
+//!   Merkle trees, ledger, mempool, difficulty rules, hash-level consensus
+//!   engines and the multi-node network simulation standing in for the
+//!   paper's Geth/Qtum/NXT testbed;
+//! * [`stats`] (`fairness-stats`) — the numerics substrate: RNG, special
+//!   functions, distributions, concentration bounds, Pólya urns,
+//!   stochastic approximation and a deterministic parallel Monte-Carlo
+//!   runner.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use blockchain_fairness::prelude::*;
+//!
+//! // Is ML-PoS fair for a miner holding 20% of stakes at block reward 1%?
+//! let config = EnsembleConfig::paper_default(0.2, 2000, 500, 42);
+//! let summary = run_ensemble(&MlPos::new(0.01), &config);
+//! let last = summary.final_point();
+//! assert!((last.mean - 0.2).abs() < 0.02);      // fair in expectation...
+//! assert!(last.unfair_probability > 0.1);       // ...but not robustly.
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the full
+//! figure/table reproduction harness.
+
+pub use chain_sim as chain;
+pub use fairness_core as core;
+pub use fairness_stats as stats;
+
+/// One-stop imports for experiments: the core prelude plus the chain-sim
+/// experiment API.
+pub mod prelude {
+    pub use chain_sim::{
+        run_experiment, CPosSim, ExperimentConfig, NetworkConfig, NetworkSim, ProtocolKind,
+    };
+    pub use fairness_core::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        // Types from all three crates are reachable.
+        let _ = crate::core::EpsilonDelta::default();
+        let _ = crate::chain::U256::ONE;
+        let _ = crate::stats::rng::SplitMix64::new(1);
+    }
+}

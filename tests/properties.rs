@@ -1,0 +1,181 @@
+//! Property-based tests over the public API: invariants that must hold for
+//! arbitrary parameters, checked with proptest.
+
+use blockchain_fairness::chain::{proportional_split, MerkleTree, U256};
+use blockchain_fairness::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    // ------------------------------------------------------------------
+    // U256 algebra vs the u128 oracle.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn u256_add_matches_u128(x in any::<u64>(), y in any::<u64>()) {
+        let sum = U256::from_u64(x) + U256::from_u64(y);
+        prop_assert_eq!(sum.low_u128(), x as u128 + y as u128);
+    }
+
+    #[test]
+    fn u256_mul_matches_u128(x in any::<u64>(), y in any::<u64>()) {
+        let prod = U256::from_u64(x) * U256::from_u64(y);
+        prop_assert_eq!(prod.low_u128(), x as u128 * y as u128);
+    }
+
+    #[test]
+    fn u256_div_rem_reconstructs(x in any::<u128>(), y in 1u128..) {
+        let (q, r) = U256::from_u128(x).div_rem(U256::from_u128(y));
+        prop_assert!(r < U256::from_u128(y));
+        let back = q * U256::from_u128(y) + r;
+        prop_assert_eq!(back, U256::from_u128(x));
+    }
+
+    #[test]
+    fn u256_shift_roundtrip(x in any::<u64>(), s in 0u32..192) {
+        let v = U256::from_u64(x);
+        prop_assert_eq!((v << s) >> s, v);
+    }
+
+    #[test]
+    fn u256_be_bytes_roundtrip(words in prop::array::uniform4(any::<u64>())) {
+        let v = U256::from_limbs(words);
+        prop_assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+    }
+
+    #[test]
+    fn u256_mul_div_exact_when_divisible(x in 1u64..1_000_000, m in 1u64..1_000_000) {
+        // (x·m)/m == x via the wide path as well.
+        let r = U256::from_u64(x).mul_div(U256::from_u64(m), U256::from_u64(m));
+        prop_assert_eq!(r, U256::from_u64(x));
+    }
+
+    // ------------------------------------------------------------------
+    // Ledger / reward apportionment.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn proportional_split_is_exact_and_fair(
+        total in 0u64..1_000_000_000,
+        weights in prop::collection::vec(0u64..1_000_000, 1..12),
+    ) {
+        prop_assume!(weights.iter().sum::<u64>() > 0);
+        let shares = proportional_split(total, &weights);
+        prop_assert_eq!(shares.iter().sum::<u64>(), total);
+        // No share deviates from the real-valued proportion by ≥ 1 atom.
+        let wsum: f64 = weights.iter().map(|&w| w as f64).sum();
+        for (s, w) in shares.iter().zip(&weights) {
+            let ideal = total as f64 * *w as f64 / wsum;
+            prop_assert!((*s as f64 - ideal).abs() < 1.0 + 1e-6);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Merkle proofs.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn merkle_proofs_verify_for_random_sizes(n in 1usize..40, probe in 0usize..40) {
+        let leaves: Vec<_> = (0..n as u64)
+            .map(|i| blockchain_fairness::chain::HashBuilder::new("p").u64(i).finish())
+            .collect();
+        let tree = MerkleTree::build(&leaves);
+        let idx = probe % n;
+        let proof = tree.prove(idx);
+        prop_assert!(MerkleTree::verify(&tree.root(), &leaves[idx], &proof));
+        // A proof for one leaf never verifies another.
+        if n > 1 {
+            let other = (idx + 1) % n;
+            prop_assert!(!MerkleTree::verify(&tree.root(), &leaves[other], &proof));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Mining-game invariants for arbitrary parameters.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn game_conserves_stake_and_income(
+        a in 0.05f64..0.95,
+        w in 1e-4f64..0.2,
+        n in 1u64..300,
+        seed in any::<u64>(),
+    ) {
+        let mut game = MiningGame::new(MlPos::new(w), &two_miner(a));
+        let mut rng = Xoshiro256StarStar::new(seed);
+        game.run(n, &mut rng);
+        // Total staking power = 1 + n·w.
+        let stakes: f64 = game.stake(0) + game.stake(1);
+        prop_assert!((stakes - (1.0 + n as f64 * w)).abs() < 1e-9);
+        // Income adds up to issuance, λ's sum to 1.
+        let lam = game.lambda(0) + game.lambda(1);
+        prop_assert!((lam - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&game.lambda(0)));
+    }
+
+    #[test]
+    fn withholding_never_changes_income_only_stakes(
+        a in 0.1f64..0.9,
+        period in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        // With the same seed, the reward *allocation sequence* differs under
+        // withholding (stakes freeze), but conservation still holds and the
+        // pending stake lands exactly at period boundaries.
+        let n = 4 * period;
+        let mut game = MiningGame::new(MlPos::new(0.01), &two_miner(a))
+            .with_withholding(WithholdingSchedule::every(period));
+        let mut rng = Xoshiro256StarStar::new(seed);
+        game.run(n, &mut rng);
+        let stakes = game.stake(0) + game.stake(1);
+        prop_assert!((stakes - (1.0 + n as f64 * 0.01)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slpos_win_probabilities_form_distribution(
+        raw in prop::collection::vec(0.01f64..10.0, 2..10),
+    ) {
+        let total: f64 = raw.iter().sum();
+        let stakes: Vec<f64> = raw.iter().map(|s| s / total).collect();
+        let probs = theory::slpos::win_probabilities(&stakes);
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+        prop_assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+    }
+
+    #[test]
+    fn epsilon_delta_fair_area_contains_share(a in 0.01f64..0.99, eps in 0.0f64..1.0) {
+        let ed = EpsilonDelta::new(eps, 0.1);
+        prop_assert!(ed.is_fair(a, a), "a itself must always be fair");
+        let (lo, hi) = ed.fair_area(a);
+        prop_assert!(lo <= a && a <= hi);
+    }
+
+    // ------------------------------------------------------------------
+    // Theory bound sanity for arbitrary parameters.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn hoeffding_bound_dominates_exact_binomial(
+        n in 10u64..3000,
+        a_pct in 5u32..95,
+    ) {
+        let a = f64::from(a_pct) / 100.0;
+        let exact = theory::pow::exact_unfair_probability(n, a, 0.1);
+        let bound = theory::pow::hoeffding_unfair_bound(n, a, 0.1);
+        prop_assert!(bound >= exact - 1e-9, "bound {} < exact {}", bound, exact);
+    }
+
+    #[test]
+    fn cpos_lhs_improves_with_inflation_and_shards(
+        n in 10u64..10_000,
+        w_ppm in 1u64..100_000,
+        v_ppm in 0u64..100_000,
+        p in 1u32..64,
+    ) {
+        let w = w_ppm as f64 / 1e6;
+        let v = v_ppm as f64 / 1e6;
+        let base = theory::cpos::condition_lhs(n, w, v, p);
+        prop_assert!(theory::cpos::condition_lhs(n, w, v, p + 1) <= base + 1e-15);
+        prop_assert!(theory::cpos::condition_lhs(n, w, v + 1e-4, p) <= base + 1e-15);
+    }
+}
