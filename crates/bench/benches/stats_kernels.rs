@@ -14,7 +14,13 @@ fn bench_special(c: &mut Criterion) {
         b.iter(|| black_box(ln_gamma(black_box(20.7))));
     });
     group.bench_function("reg_inc_beta", |b| {
-        b.iter(|| black_box(reg_inc_beta(black_box(20.0), black_box(80.0), black_box(0.22))));
+        b.iter(|| {
+            black_box(reg_inc_beta(
+                black_box(20.0),
+                black_box(80.0),
+                black_box(0.22),
+            ))
+        });
     });
     group.bench_function("binomial_cdf_n5000", |b| {
         let bin = Binomial::new(5000, 0.2);

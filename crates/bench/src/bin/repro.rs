@@ -37,7 +37,12 @@ fn main() -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => opts = ReproOptions { results_dir: opts.results_dir.clone(), ..ReproOptions::quick() },
+            "--quick" => {
+                opts = ReproOptions {
+                    results_dir: opts.results_dir.clone(),
+                    ..ReproOptions::quick()
+                }
+            }
             "--no-system" => opts.with_system = false,
             "--reps" => {
                 i += 1;
@@ -94,7 +99,17 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         targets.push("all".to_owned());
     }
-    let all = ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "table1", "ablations", "extensions"];
+    let all = [
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "table1",
+        "ablations",
+        "extensions",
+    ];
     let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
         all.to_vec()
     } else {

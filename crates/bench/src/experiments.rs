@@ -8,8 +8,8 @@
 use crate::report::{fmt4, fmt_convergence, write_csv, TextTable};
 use crate::ReproOptions;
 use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
-use fairness_core::prelude::*;
 use fairness_core::montecarlo::{run_ensemble, summarize, EnsembleConfig, EnsembleSummary};
+use fairness_core::prelude::*;
 use fairness_stats::mc::{run_monte_carlo, McConfig};
 use std::fmt::Write as _;
 use std::io;
@@ -99,10 +99,18 @@ pub fn fig1(opts: &ReproOptions) -> io::Result<String> {
         let win = theory::slpos::win_probability_two_miner(z);
         rows.push(vec![z, win, theory::slpos::drift(z)]);
     }
-    let path = write_csv(&opts.results_dir, "fig1_slpos_win_probability", &["z", "win_prob", "drift"], &rows)?;
+    let path = write_csv(
+        &opts.results_dir,
+        "fig1_slpos_win_probability",
+        &["z", "win_prob", "drift"],
+        &rows,
+    )?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 1 — SL-PoS win probability vs current share Z_n");
+    let _ = writeln!(
+        out,
+        "Figure 1 — SL-PoS win probability vs current share Z_n"
+    );
     let mut t = TextTable::new(vec!["Z_n", "Pr[win next block]", "drift f(Z)"]);
     for i in (0..=10).map(|k| k * 10) {
         let z = f64::from(i) / 100.0;
@@ -123,7 +131,10 @@ pub fn fig1(opts: &ReproOptions) -> io::Result<String> {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let _ = writeln!(out, "paper: Z<1/2 drifts to 0, Z>1/2 drifts to 1, 1/2 unstable.");
+    let _ = writeln!(
+        out,
+        "paper: Z<1/2 drifts to 0, Z>1/2 drifts to 1, 1/2 unstable."
+    );
     let _ = writeln!(out, "csv: {}", path.display());
     Ok(out)
 }
@@ -178,17 +189,18 @@ pub fn fig2(opts: &ReproOptions) -> io::Result<String> {
         ),
     ];
     for (label, summary) in &panels {
-        let name = format!(
-            "fig2_{}",
-            summary.protocol.to_lowercase().replace('-', "")
-        );
+        let name = format!("fig2_{}", summary.protocol.to_lowercase().replace('-', ""));
         let path = write_csv(
             &opts.results_dir,
             &name,
             &["n", "mean", "p05", "p95", "unfair"],
             &band_rows(summary),
         )?;
-        let _ = writeln!(out, "\n{label}  [fair area 0.18..0.22]  csv: {}", path.display());
+        let _ = writeln!(
+            out,
+            "\n{label}  [fair area 0.18..0.22]  csv: {}",
+            path.display()
+        );
         out.push_str(&render_band_table(summary, 6));
     }
 
@@ -316,11 +328,23 @@ pub fn fig3(opts: &ReproOptions) -> io::Result<String> {
         let path = write_csv(
             &opts.results_dir,
             &format!("fig3_{proto}"),
-            &["n", "unfair_a0.1", "unfair_a0.2", "unfair_a0.3", "unfair_a0.4"],
+            &[
+                "n",
+                "unfair_a0.1",
+                "unfair_a0.2",
+                "unfair_a0.3",
+                "unfair_a0.4",
+            ],
             &rows,
         )?;
         let _ = writeln!(out, "\n{label}  csv: {}", path.display());
-        let mut t = TextTable::new(vec!["a", "unfair@500", "unfair@2000", "unfair@5000", "cvg time"]);
+        let mut t = TextTable::new(vec![
+            "a",
+            "unfair@500",
+            "unfair@2000",
+            "unfair@5000",
+            "cvg time",
+        ]);
         for (ai, s) in summaries.iter().enumerate() {
             let at = |n: u64| {
                 s.points
@@ -339,7 +363,12 @@ pub fn fig3(opts: &ReproOptions) -> io::Result<String> {
         out.push_str(&t.render());
         if pi == 0 {
             // Overlay the exact binomial theory for PoW.
-            let mut t = TextTable::new(vec!["a", "exact unfair@1000", "exact unfair@5000", "Thm 4.2 n"]);
+            let mut t = TextTable::new(vec![
+                "a",
+                "exact unfair@1000",
+                "exact unfair@5000",
+                "Thm 4.2 n",
+            ]);
             for &a in &a_values {
                 t.row(vec![
                     format!("{a:.1}"),
@@ -367,7 +396,11 @@ pub fn fig4(opts: &ReproOptions) -> io::Result<String> {
     let horizon = 100_000;
     let checkpoints = log_checkpoints(horizon, 4);
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 4 — SL-PoS mean λ_A, {} repetitions", opts.repetitions);
+    let _ = writeln!(
+        out,
+        "Figure 4 — SL-PoS mean λ_A, {} repetitions",
+        opts.repetitions
+    );
 
     // (a) share sweep.
     let a_values = [0.1, 0.2, 0.3, 0.4, 0.5];
@@ -395,7 +428,11 @@ pub fn fig4(opts: &ReproOptions) -> io::Result<String> {
         &["n", "a0.1", "a0.2", "a0.3", "a0.4", "a0.5"],
         &rows,
     )?;
-    let _ = writeln!(out, "\n(a) mean λ_A by initial share (w=0.01)  csv: {}", path_a.display());
+    let _ = writeln!(
+        out,
+        "\n(a) mean λ_A by initial share (w=0.01)  csv: {}",
+        path_a.display()
+    );
     let mut t = TextTable::new(vec!["a", "mean@100", "mean@10^4", "mean@10^5"]);
     for (i, s) in summaries_a.iter().enumerate() {
         let at = |n: u64| {
@@ -412,7 +449,10 @@ pub fn fig4(opts: &ReproOptions) -> io::Result<String> {
         ]);
     }
     out.push_str(&t.render());
-    let _ = writeln!(out, "paper: every a<0.5 decays toward 0; a=0.5 stays at 0.5.");
+    let _ = writeln!(
+        out,
+        "paper: every a<0.5 decays toward 0; a=0.5 stays at 0.5."
+    );
 
     // (b) reward sweep.
     let w_values = [1e-4, 1e-3, 1e-2, 1e-1];
@@ -422,7 +462,12 @@ pub fn fig4(opts: &ReproOptions) -> io::Result<String> {
         .map(|(i, &w)| {
             run_ensemble(
                 &SlPos::new(w),
-                &ensemble_config(opts, two_miner(A_DEFAULT), checkpoints.clone(), 0x70 + i as u64),
+                &ensemble_config(
+                    opts,
+                    two_miner(A_DEFAULT),
+                    checkpoints.clone(),
+                    0x70 + i as u64,
+                ),
             )
         })
         .collect();
@@ -440,7 +485,11 @@ pub fn fig4(opts: &ReproOptions) -> io::Result<String> {
         &["n", "w1e-4", "w1e-3", "w1e-2", "w1e-1"],
         &rows,
     )?;
-    let _ = writeln!(out, "\n(b) mean λ_A by block reward (a=0.2)  csv: {}", path_b.display());
+    let _ = writeln!(
+        out,
+        "\n(b) mean λ_A by block reward (a=0.2)  csv: {}",
+        path_b.display()
+    );
     let mut t = TextTable::new(vec!["w", "mean@100", "mean@10^4", "mean@10^5"]);
     for (i, s) in summaries_w.iter().enumerate() {
         let at = |n: u64| {
@@ -457,7 +506,11 @@ pub fn fig4(opts: &ReproOptions) -> io::Result<String> {
         ]);
     }
     out.push_str(&t.render());
-    let _ = writeln!(out, "paper: smaller w decays slower; first-block win prob = a/(2b) = {}", fmt4(theory::slpos::win_probability_two_miner(A_DEFAULT)));
+    let _ = writeln!(
+        out,
+        "paper: smaller w decays slower; first-block win prob = a/(2b) = {}",
+        fmt4(theory::slpos::win_probability_two_miner(A_DEFAULT))
+    );
     Ok(out)
 }
 
@@ -471,7 +524,11 @@ pub fn fig4(opts: &ReproOptions) -> io::Result<String> {
 pub fn fig5(opts: &ReproOptions) -> io::Result<String> {
     let shares = two_miner(A_DEFAULT);
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 5 — unfair probabilities (a=0.2), {} repetitions", opts.repetitions);
+    let _ = writeln!(
+        out,
+        "Figure 5 — unfair probabilities (a=0.2), {} repetitions",
+        opts.repetitions
+    );
     let w_values = [1e-4, 1e-3, 1e-2, 1e-1];
 
     // (a) ML-PoS w sweep, with the Beta-limit theory overlay.
@@ -503,7 +560,12 @@ pub fn fig5(opts: &ReproOptions) -> io::Result<String> {
             &rows,
         )?;
         let _ = writeln!(out, "\n(a) ML-PoS by w  csv: {}", path.display());
-        let mut t = TextTable::new(vec!["w", "unfair@5000", "Beta-limit unfair", "Thm 4.3 satisfied"]);
+        let mut t = TextTable::new(vec![
+            "w",
+            "unfair@5000",
+            "Beta-limit unfair",
+            "Thm 4.3 satisfied",
+        ]);
         for (i, s) in summaries.iter().enumerate() {
             let w = w_values[i];
             t.row(vec![
@@ -512,7 +574,12 @@ pub fn fig5(opts: &ReproOptions) -> io::Result<String> {
                 fmt4(theory::mlpos::limit_unfair_probability(A_DEFAULT, w, 0.1)),
                 format!(
                     "{}",
-                    theory::mlpos::sufficient_condition(horizon, w, A_DEFAULT, EpsilonDelta::default())
+                    theory::mlpos::sufficient_condition(
+                        horizon,
+                        w,
+                        A_DEFAULT,
+                        EpsilonDelta::default()
+                    )
                 ),
             ]);
         }
@@ -564,7 +631,10 @@ pub fn fig5(opts: &ReproOptions) -> io::Result<String> {
             ]);
         }
         out.push_str(&t.render());
-        let _ = writeln!(out, "paper: ~95% initially, →100% after ~200 blocks for every w.");
+        let _ = writeln!(
+            out,
+            "paper: ~95% initially, →100% after ~200 blocks for every w."
+        );
     }
 
     // (c) C-PoS w sweep at v = 0.1.
@@ -596,16 +666,27 @@ pub fn fig5(opts: &ReproOptions) -> io::Result<String> {
             &rows,
         )?;
         let _ = writeln!(out, "\n(c) C-PoS by w (v=0.1)  csv: {}", path.display());
-        let mut t = TextTable::new(vec!["w", "unfair@5000 (C-PoS)", "unfair@5000 (ML-PoS limit)"]);
+        let mut t = TextTable::new(vec![
+            "w",
+            "unfair@5000 (C-PoS)",
+            "unfair@5000 (ML-PoS limit)",
+        ]);
         for (i, s) in summaries.iter().enumerate() {
             t.row(vec![
                 format!("{:.0e}", w_values[i]),
                 fmt4(s.final_point().unfair_probability),
-                fmt4(theory::mlpos::limit_unfair_probability(A_DEFAULT, w_values[i], 0.1)),
+                fmt4(theory::mlpos::limit_unfair_probability(
+                    A_DEFAULT,
+                    w_values[i],
+                    0.1,
+                )),
             ]);
         }
         out.push_str(&t.render());
-        let _ = writeln!(out, "paper: C-PoS outperforms ML-PoS significantly at every w.");
+        let _ = writeln!(
+            out,
+            "paper: C-PoS outperforms ML-PoS significantly at every w."
+        );
     }
 
     // (d) C-PoS v sweep at w = 0.01.
@@ -664,7 +745,11 @@ pub fn fig6(opts: &ReproOptions) -> io::Result<String> {
     let checkpoints = linear_checkpoints(horizon, 25);
     let shares = two_miner(A_DEFAULT);
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 6 — FSL-PoS treatment (a=0.2, w=0.01), {} repetitions", opts.repetitions);
+    let _ = writeln!(
+        out,
+        "Figure 6 — FSL-PoS treatment (a=0.2, w=0.01), {} repetitions",
+        opts.repetitions
+    );
 
     let plain = run_ensemble(
         &FslPos::new(W_DEFAULT),
@@ -676,7 +761,11 @@ pub fn fig6(opts: &ReproOptions) -> io::Result<String> {
 
     for (label, summary, name) in [
         ("(a) FSL-PoS", &plain, "fig6a_fslpos"),
-        ("(b) FSL-PoS + withholding(1000)", &withheld, "fig6b_fslpos_withholding"),
+        (
+            "(b) FSL-PoS + withholding(1000)",
+            &withheld,
+            "fig6b_fslpos_withholding",
+        ),
     ] {
         let path = write_csv(
             &opts.results_dir,
@@ -887,7 +976,13 @@ pub fn table1(opts: &ReproOptions) -> io::Result<String> {
     let path = write_csv(
         &opts.results_dir,
         "table1_multi_miner",
-        &["miners", "protocol(0=pow,1=ml,2=sl,3=c)", "mean_lambda", "unfair", "cvg_time(-1=never)"],
+        &[
+            "miners",
+            "protocol(0=pow,1=ml,2=sl,3=c)",
+            "mean_lambda",
+            "unfair",
+            "cvg_time(-1=never)",
+        ],
         &csv_rows,
     )?;
     let _ = writeln!(out, "\ncsv: {}", path.display());
@@ -949,7 +1044,11 @@ pub fn ablations(opts: &ReproOptions) -> io::Result<String> {
             &["shards", "unfair", "thm410_lhs"],
             &rows,
         )?;
-        let _ = writeln!(out, "\nShard sweep (C-PoS, v=0, w=0.01): more shards → fairer  csv: {}", path.display());
+        let _ = writeln!(
+            out,
+            "\nShard sweep (C-PoS, v=0, w=0.01): more shards → fairer  csv: {}",
+            path.display()
+        );
         out.push_str(&t.render());
     }
 
@@ -969,7 +1068,11 @@ pub fn ablations(opts: &ReproOptions) -> io::Result<String> {
                 fmt4(last.unfair_probability),
                 fmt4(last.p95 - last.p05),
             ]);
-            rows.push(vec![period as f64, last.unfair_probability, last.p95 - last.p05]);
+            rows.push(vec![
+                period as f64,
+                last.unfair_probability,
+                last.p95 - last.p05,
+            ]);
         }
         // No-withholding baseline.
         let baseline = run_ensemble(
@@ -988,7 +1091,11 @@ pub fn ablations(opts: &ReproOptions) -> io::Result<String> {
             &["period", "unfair", "band_width"],
             &rows,
         )?;
-        let _ = writeln!(out, "\nWithholding-period sweep (FSL-PoS, w=0.01)  csv: {}", path.display());
+        let _ = writeln!(
+            out,
+            "\nWithholding-period sweep (FSL-PoS, w=0.01)  csv: {}",
+            path.display()
+        );
         out.push_str(&t.render());
     }
 
@@ -1113,21 +1220,14 @@ pub fn extensions(opts: &ReproOptions) -> io::Result<String> {
     {
         let shares = fairness_core::miner::equal_shares(5);
         let horizon = 20_000u64;
-        let mut t = TextTable::new(vec![
-            "protocol",
-            "gini",
-            "hhi",
-            "nakamoto",
-            "largest share",
-        ]);
+        let mut t = TextTable::new(vec!["protocol", "gini", "hhi", "nakamoto", "largest share"]);
         let mut rows = Vec::new();
         macro_rules! measure {
             ($label:expr, $protocol:expr, $salt:expr, $idx:expr) => {{
                 let finals = fairness_stats::mc::run_monte_carlo(
                     McConfig::new(opts.repetitions.min(500), opts.seed ^ $salt),
                     |_i, rng| {
-                        let mut game =
-                            fairness_core::game::MiningGame::new($protocol, &shares);
+                        let mut game = fairness_core::game::MiningGame::new($protocol, &shares);
                         game.run(horizon, rng);
                         (0..5).map(|i| game.stake(i)).collect::<Vec<f64>>()
                     },
@@ -1152,7 +1252,13 @@ pub fn extensions(opts: &ReproOptions) -> io::Result<String> {
                     format!("{:.2}", nakamoto / k),
                     fmt4(largest / k),
                 ]);
-                rows.push(vec![$idx as f64, gini / k, hhi / k, nakamoto / k, largest / k]);
+                rows.push(vec![
+                    $idx as f64,
+                    gini / k,
+                    hhi / k,
+                    nakamoto / k,
+                    largest / k,
+                ]);
             }};
         }
         measure!("PoW", Pow::new(&shares, W_DEFAULT), 0x320u64, 0);
@@ -1187,15 +1293,16 @@ pub fn extensions(opts: &ReproOptions) -> io::Result<String> {
                 let lambdas = fairness_stats::mc::run_monte_carlo(
                     McConfig::new(reps, opts.seed ^ $salt),
                     |_i, rng| {
-                        let mut game = fairness_core::game::MiningGame::new(
-                            $protocol,
-                            &two_miner(A_DEFAULT),
-                        );
+                        let mut game =
+                            fairness_core::game::MiningGame::new($protocol, &two_miner(A_DEFAULT));
                         game.run(horizon, rng);
                         game.lambda(0)
                     },
                 );
-                t.row(vec![$label.to_owned(), format!("{:.5}", equitability(&lambdas, A_DEFAULT))]);
+                t.row(vec![
+                    $label.to_owned(),
+                    format!("{:.5}", equitability(&lambdas, A_DEFAULT)),
+                ]);
             }};
         }
         equit!("PoW", Pow::new(&two_miner(A_DEFAULT), W_DEFAULT), 0x330u64);

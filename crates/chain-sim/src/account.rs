@@ -120,7 +120,9 @@ impl Ledger {
     pub fn with_genesis(alloc: &[(Address, u64)]) -> Self {
         let mut ledger = Self::new();
         for &(addr, amount) in alloc {
-            ledger.credit(addr, amount).expect("genesis allocation overflow");
+            ledger
+                .credit(addr, amount)
+                .expect("genesis allocation overflow");
         }
         ledger
     }
@@ -305,13 +307,19 @@ mod tests {
         );
         assert_eq!(
             ledger.transfer(a, b, 5, 3),
-            Err(LedgerError::BadNonce { expected: 0, got: 3 })
+            Err(LedgerError::BadNonce {
+                expected: 0,
+                got: 3
+            })
         );
         ledger.transfer(a, b, 5, 0).expect("first transfer");
         // Nonce advanced.
         assert_eq!(
             ledger.transfer(a, b, 1, 0),
-            Err(LedgerError::BadNonce { expected: 1, got: 0 })
+            Err(LedgerError::BadNonce {
+                expected: 1,
+                got: 0
+            })
         );
     }
 

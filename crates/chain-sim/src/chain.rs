@@ -1,8 +1,8 @@
 //! The block chain store: append-only, validated, with proposer statistics.
 
+use crate::account::Address;
 use crate::block::Block;
 use crate::hash::Hash256;
-use crate::account::Address;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -228,7 +228,13 @@ mod tests {
         let mut b = child(chain.tip(), 5, 1);
         b.header.height = 5;
         let err = chain.try_append(b, |_| true).expect_err("bad height");
-        assert_eq!(err, ChainError::BadHeight { expected: 1, got: 5 });
+        assert_eq!(
+            err,
+            ChainError::BadHeight {
+                expected: 1,
+                got: 5
+            }
+        );
     }
 
     #[test]
@@ -236,20 +242,18 @@ mod tests {
         let mut chain = Chain::new(genesis());
         let other = genesis();
         let b = child(&other, 1, 1); // parent hash = genesis hash, fine...
-        // Corrupt the parent link.
+                                     // Corrupt the parent link.
         let mut bad = b;
         bad.header.prev_hash = Hash256([9u8; 32]);
-        assert_eq!(
-            chain.try_append(bad, |_| true),
-            Err(ChainError::BadParent)
-        );
+        assert_eq!(chain.try_append(bad, |_| true), Err(ChainError::BadParent));
     }
 
     #[test]
     fn rejects_merkle_tamper() {
         let mut chain = Chain::new(genesis());
         let mut b = child(chain.tip(), 1, 1);
-        b.transactions.push(Transaction::coinbase(Address::for_miner(3), 1, 1));
+        b.transactions
+            .push(Transaction::coinbase(Address::for_miner(3), 1, 1));
         assert_eq!(
             chain.try_append(b, |_| true),
             Err(ChainError::BadMerkleRoot)

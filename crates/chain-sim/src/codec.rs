@@ -342,15 +342,7 @@ mod tests {
         let miners: Vec<MinerProfile> = (0..2).map(|i| MinerProfile::new(i, 0)).collect();
         let stakes = vec![300_000u64, 700_000];
         let engine = SlPosEngine::new(1000);
-        let genesis = Block::assemble(
-            0,
-            Hash256::ZERO,
-            0,
-            U256::MAX,
-            0,
-            miners[0].address,
-            vec![],
-        );
+        let genesis = Block::assemble(0, Hash256::ZERO, 0, U256::MAX, 0, miners[0].address, vec![]);
         let mut chain = crate::chain::Chain::new(genesis);
         let mut rng = Xoshiro256StarStar::new(1);
         for height in 1..=20u64 {
@@ -364,7 +356,11 @@ mod tests {
                 U256::MAX,
                 0,
                 miners[outcome.winner].address,
-                vec![Transaction::coinbase(miners[outcome.winner].address, 10, height)],
+                vec![Transaction::coinbase(
+                    miners[outcome.winner].address,
+                    10,
+                    height,
+                )],
             );
             chain.try_append(block, |_| true).expect("append");
         }

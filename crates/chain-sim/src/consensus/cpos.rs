@@ -79,12 +79,7 @@ impl CPosEngine {
     /// driven by the epoch randomness beacon (hash of the previous epoch's
     /// tip).
     #[must_use]
-    pub fn select_proposer(
-        prev: &Hash256,
-        epoch: u64,
-        shard: u32,
-        stakes: &[u64],
-    ) -> usize {
+    pub fn select_proposer(prev: &Hash256, epoch: u64, shard: u32, stakes: &[u64]) -> usize {
         let total = total_stake(stakes);
         assert!(total > 0, "C-PoS requires positive total stake");
         let beacon = HashBuilder::new("cpos-proposer")
@@ -94,7 +89,10 @@ impl CPosEngine {
             .finish();
         // Map the 256-bit beacon to [0, total) exactly via wide modulo; the
         // modulo bias is < 2^-190 for realistic stake totals.
-        let draw = beacon.to_u256().div_rem(crate::u256::U256::from_u128(total)).1;
+        let draw = beacon
+            .to_u256()
+            .div_rem(crate::u256::U256::from_u128(total))
+            .1;
         let mut point = draw.low_u128();
         for (i, &s) in stakes.iter().enumerate() {
             if point < s as u128 {

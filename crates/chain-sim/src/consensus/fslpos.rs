@@ -172,7 +172,10 @@ mod tests {
         }
         for (i, expect) in [0.1, 0.3, 0.6].iter().enumerate() {
             let frac = wins[i] as f64 / n as f64;
-            assert!((frac - expect).abs() < 0.013, "miner {i}: {frac} vs {expect}");
+            assert!(
+                (frac - expect).abs() < 0.013,
+                "miner {i}: {frac} vs {expect}"
+            );
         }
     }
 

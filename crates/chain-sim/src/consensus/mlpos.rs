@@ -112,7 +112,10 @@ impl BlockLottery for MlPosEngine {
         rng: &mut dyn RngCore,
     ) -> LotteryOutcome {
         check_inputs(miners, stakes);
-        assert!(total_stake(stakes) > 0, "ML-PoS requires positive total stake");
+        assert!(
+            total_stake(stakes) > 0,
+            "ML-PoS requires positive total stake"
+        );
         for tick in 1..=self.max_ticks {
             // Collect all miners whose kernel is valid at this timestamp.
             let mut winners: Vec<(usize, Hash256)> = Vec::new();
@@ -217,7 +220,10 @@ mod tests {
             if out.winner == 0 {
                 wins_a += 1;
             }
-            prev = HashBuilder::new("chain").hash(&prev).hash(&out.proof_hash).finish();
+            prev = HashBuilder::new("chain")
+                .hash(&prev)
+                .hash(&out.proof_hash)
+                .finish();
         }
         let frac = wins_a as f64 / n as f64;
         assert!((frac - 0.2).abs() < 0.033, "win fraction {frac}");

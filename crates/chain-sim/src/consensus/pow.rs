@@ -196,7 +196,10 @@ mod tests {
                 wins_a += 1;
             }
             // Chain the lotteries like real blocks.
-            prev = HashBuilder::new("chain").hash(&prev).hash(&out.proof_hash).finish();
+            prev = HashBuilder::new("chain")
+                .hash(&prev)
+                .hash(&out.proof_hash)
+                .finish();
         }
         let frac = wins_a as f64 / n as f64;
         // SE ≈ sqrt(0.2*0.8/3000) ≈ 0.0073; allow 4.5 sigma.

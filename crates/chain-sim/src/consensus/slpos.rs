@@ -44,7 +44,10 @@ impl SlPosEngine {
     /// The miner's 64-bit hit value for this block.
     #[must_use]
     pub fn hit(prev: &Hash256, pubkey: &Hash256) -> u64 {
-        let digest = HashBuilder::new("slpos-hit").hash(prev).hash(pubkey).finish();
+        let digest = HashBuilder::new("slpos-hit")
+            .hash(prev)
+            .hash(pubkey)
+            .finish();
         u64::from_be_bytes(digest.0[..8].try_into().expect("8 bytes"))
     }
 
@@ -73,7 +76,10 @@ impl BlockLottery for SlPosEngine {
         _rng: &mut dyn RngCore,
     ) -> LotteryOutcome {
         check_inputs(miners, stakes);
-        assert!(total_stake(stakes) > 0, "SL-PoS requires positive total stake");
+        assert!(
+            total_stake(stakes) > 0,
+            "SL-PoS requires positive total stake"
+        );
         let mut best: Option<(u128, u64, usize)> = None;
         for (mi, miner) in miners.iter().enumerate() {
             if stakes[mi] == 0 {

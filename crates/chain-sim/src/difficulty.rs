@@ -56,7 +56,10 @@ pub fn nxt_adjust_base_target(
         U256::from_u64(target_block_time),
     );
     // Keep within a sane global band around the initial value.
-    let min_t = initial_base_target.div_rem(U256::from_u64(50)).0.max(U256::ONE);
+    let min_t = initial_base_target
+        .div_rem(U256::from_u64(50))
+        .0
+        .max(U256::ONE);
     let max_t = initial_base_target.saturating_mul(U256::from_u64(50));
     if adjusted < min_t {
         adjusted = min_t;
@@ -134,9 +137,15 @@ mod tests {
         let init = U256::ONE << 150u32;
         let extreme_slow = nxt_adjust_base_target(init, init, 10_000, 100);
         // At most +20%.
-        assert_eq!(extreme_slow, init.mul_div(U256::from_u64(120), U256::from_u64(100)));
+        assert_eq!(
+            extreme_slow,
+            init.mul_div(U256::from_u64(120), U256::from_u64(100))
+        );
         let extreme_fast = nxt_adjust_base_target(init, init, 1, 100);
-        assert_eq!(extreme_fast, init.mul_div(U256::from_u64(80), U256::from_u64(100)));
+        assert_eq!(
+            extreme_fast,
+            init.mul_div(U256::from_u64(80), U256::from_u64(100))
+        );
     }
 
     #[test]

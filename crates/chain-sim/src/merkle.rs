@@ -62,7 +62,8 @@ impl MerkleTree {
     /// Number of leaves.
     #[must_use]
     pub fn leaf_count(&self) -> usize {
-        if self.levels.len() == 1 && self.levels[0].len() == 1
+        if self.levels.len() == 1
+            && self.levels[0].len() == 1
             && self.levels[0][0] == Self::empty_root()
         {
             0
@@ -116,7 +117,10 @@ impl MerkleTree {
     }
 
     fn combine(left: &Hash256, right: &Hash256) -> Hash256 {
-        HashBuilder::new("merkle-node").hash(left).hash(right).finish()
+        HashBuilder::new("merkle-node")
+            .hash(left)
+            .hash(right)
+            .finish()
     }
 }
 
@@ -161,10 +165,7 @@ mod tests {
             let t = MerkleTree::build(&leaves);
             for (i, l) in leaves.iter().enumerate() {
                 let proof = t.prove(i);
-                assert!(
-                    MerkleTree::verify(&t.root(), l, &proof),
-                    "n={n} leaf={i}"
-                );
+                assert!(MerkleTree::verify(&t.root(), l, &proof), "n={n} leaf={i}");
             }
         }
     }

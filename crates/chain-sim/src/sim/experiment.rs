@@ -130,7 +130,10 @@ pub fn run_experiment(config: &ExperimentConfig, rng: &mut dyn RngCore) -> Exper
         "checkpoints must be strictly ascending"
     );
     assert!(
-        config.checkpoints.last().is_none_or(|&last| last <= config.horizon),
+        config
+            .checkpoints
+            .last()
+            .is_none_or(|&last| last <= config.horizon),
         "checkpoints must not exceed the horizon"
     );
     match config.protocol {
@@ -204,7 +207,9 @@ fn run_cpos(config: &ExperimentConfig, rng: &mut dyn RngCore) -> ExperimentOutco
     ExperimentOutcome {
         final_lambda: sim.reward_fraction(0),
         lambda_series: series,
-        final_stakes: (0..config.initial_stakes.len()).map(|i| sim.stake(i)).collect(),
+        final_stakes: (0..config.initial_stakes.len())
+            .map(|i| sim.stake(i))
+            .collect(),
         total_ticks: sim.epoch() * 384,
     }
 }
@@ -271,7 +276,11 @@ mod tests {
         let out = run_experiment(&config, &mut rng);
         assert_eq!(out.lambda_series.len(), config.checkpoints.len());
         // C-PoS concentrates fast; final λ should be near 0.2 already.
-        assert!((out.final_lambda - 0.2).abs() < 0.08, "{}", out.final_lambda);
+        assert!(
+            (out.final_lambda - 0.2).abs() < 0.08,
+            "{}",
+            out.final_lambda
+        );
     }
 
     #[test]

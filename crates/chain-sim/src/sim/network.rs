@@ -148,15 +148,7 @@ impl NetworkSim {
         }
         let ledger = Ledger::with_genesis(&alloc);
 
-        let genesis = Block::assemble(
-            0,
-            Hash256::ZERO,
-            0,
-            U256::MAX,
-            0,
-            miners[0].address,
-            vec![],
-        );
+        let genesis = Block::assemble(0, Hash256::ZERO, 0, U256::MAX, 0, miners[0].address, vec![]);
         let chain = Chain::new(genesis);
 
         let mut events = EventQueue::new();
@@ -229,18 +221,17 @@ impl NetworkSim {
             match event {
                 NetEvent::TxArrival { user } => {
                     let from = self.users[user];
-                    let to = self.users[(user + 1 + rng.gen_range(0..self.users.len() - 1))
-                        % self.users.len()];
+                    let to = self.users
+                        [(user + 1 + rng.gen_range(0..self.users.len() - 1)) % self.users.len()];
                     let amount = rng.gen_range(1..100u64);
                     if self.ledger.balance(&from) > amount {
-                        let tx =
-                            Transaction::transfer(from, to, amount, 0, self.user_nonces[user]);
+                        let tx = Transaction::transfer(from, to, amount, 0, self.user_nonces[user]);
                         if self.mempool.insert(tx) {
                             self.user_nonces[user] += 1;
                         }
                     }
                     // Re-schedule this user's next transfer.
-                    let next = self.clock + rng.gen_range(5..50);
+                    let next = self.clock + rng.gen_range(5..50u64);
                     self.events.schedule(next, NetEvent::TxArrival { user });
                 }
             }
@@ -391,15 +382,7 @@ impl CPosSim {
             .map(|(mp, &s)| (mp.address, s))
             .collect();
         let ledger = Ledger::with_genesis(&alloc);
-        let genesis = Block::assemble(
-            0,
-            Hash256::ZERO,
-            0,
-            U256::MAX,
-            0,
-            miners[0].address,
-            vec![],
-        );
+        let genesis = Block::assemble(0, Hash256::ZERO, 0, U256::MAX, 0, miners[0].address, vec![]);
         Self {
             engine,
             earned: vec![0; initial_stakes.len()],
@@ -441,8 +424,7 @@ impl CPosSim {
     /// C-PoS (`earned / ((w+v)·epochs)`).
     #[must_use]
     pub fn reward_fraction(&self, i: usize) -> f64 {
-        let issued =
-            self.epoch * (self.engine.proposer_reward() + self.engine.attester_reward());
+        let issued = self.epoch * (self.engine.proposer_reward() + self.engine.attester_reward());
         if issued == 0 {
             0.0
         } else {
@@ -635,10 +617,7 @@ mod tests {
         // 32 shard blocks per epoch.
         assert_eq!(sim.chain().height(), 20 * 32);
         // Supply grew by exactly (w + v) per epoch.
-        assert_eq!(
-            sim.ledger().total_supply(),
-            1_000_000 + 20 * 11_000
-        );
+        assert_eq!(sim.ledger().total_supply(), 1_000_000 + 20 * 11_000);
         // Reward fractions sum to 1.
         let total_frac = sim.reward_fraction(0) + sim.reward_fraction(1);
         assert!((total_frac - 1.0).abs() < 1e-9, "{total_frac}");

@@ -71,7 +71,10 @@ impl Transaction {
     /// The transaction identifier (hash of the canonical encoding).
     #[must_use]
     pub fn id(&self) -> Hash256 {
-        HashBuilder::new("txid").hash(&self.encode()).hash(&self.auth).finish()
+        HashBuilder::new("txid")
+            .hash(&self.encode())
+            .hash(&self.auth)
+            .finish()
     }
 
     /// Fee offered to the proposer (0 for coinbase).
@@ -122,7 +125,11 @@ impl Transaction {
     fn commitment(kind: &TxKind) -> Hash256 {
         // Stand-in for a signature: commitment under the sender's (or
         // issuer's) key domain.
-        let payload = Self { kind: *kind, auth: Hash256::ZERO }.encode();
+        let payload = Self {
+            kind: *kind,
+            auth: Hash256::ZERO,
+        }
+        .encode();
         HashBuilder::new("tx-auth").hash(&payload).finish()
     }
 }

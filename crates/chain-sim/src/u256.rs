@@ -26,7 +26,9 @@ impl U256 {
     /// The value 0.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value 1.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The maximum value 2²⁵⁶ − 1.
     pub const MAX: U256 = U256 {
         limbs: [u64::MAX; 4],
@@ -235,9 +237,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry = 0u128;
             for j in 0..4 {
-                let cur = prod[i + j] as u128
-                    + self.limbs[i] as u128 * rhs.limbs[j] as u128
-                    + carry;
+                let cur =
+                    prod[i + j] as u128 + self.limbs[i] as u128 * rhs.limbs[j] as u128 + carry;
                 prod[i + j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -279,7 +280,10 @@ impl U256 {
             return (self, Self::ZERO);
         }
         // Fast path: both fit in u128.
-        if self.limbs[2] == 0 && self.limbs[3] == 0 && divisor.limbs[2] == 0 && divisor.limbs[3] == 0
+        if self.limbs[2] == 0
+            && self.limbs[3] == 0
+            && divisor.limbs[2] == 0
+            && divisor.limbs[3] == 0
         {
             let a = self.low_u128();
             let b = divisor.low_u128();
@@ -322,10 +326,7 @@ impl U256 {
             return lo.div_rem(div).0;
         }
         // 512-bit / 256-bit long division, bit by bit over the 512-bit value.
-        assert!(
-            hi < div,
-            "mul_div quotient does not fit in 256 bits"
-        );
+        assert!(hi < div, "mul_div quotient does not fit in 256 bits");
         let mut rem = Self::ZERO;
         let mut quot = Self::ZERO;
         for i in (0..512).rev() {
@@ -645,8 +646,9 @@ mod tests {
 
     #[test]
     fn be_bytes_roundtrip() {
-        let v = U256::from_hex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
-            .expect("valid hex");
+        let v =
+            U256::from_hex("0x0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+                .expect("valid hex");
         assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
         // Leading byte should be 0x01.
         assert_eq!(v.to_be_bytes()[0], 0x01);

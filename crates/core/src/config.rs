@@ -137,10 +137,9 @@ impl GameConfig {
             ProtocolConfig::Eos {
                 proposer_reward,
                 inflation_reward,
-            } => crate::montecarlo::run_ensemble(
-                &Eos::new(*proposer_reward, *inflation_reward),
-                &ec,
-            ),
+            } => {
+                crate::montecarlo::run_ensemble(&Eos::new(*proposer_reward, *inflation_reward), &ec)
+            }
         }
     }
 }

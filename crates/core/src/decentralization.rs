@@ -61,7 +61,10 @@ pub fn hhi(values: &[f64]) -> f64 {
 /// Panics if `values` is empty, sums to zero, or `threshold ∉ (0, 1)`.
 #[must_use]
 pub fn nakamoto_coefficient(values: &[f64], threshold: f64) -> usize {
-    assert!(!values.is_empty(), "Nakamoto coefficient of empty distribution");
+    assert!(
+        !values.is_empty(),
+        "Nakamoto coefficient of empty distribution"
+    );
     assert!(
         threshold > 0.0 && threshold < 1.0,
         "threshold must be in (0,1), got {threshold}"
@@ -192,14 +195,17 @@ mod tests {
 
         let mut game = MiningGame::new(SlPos::new(0.05), &crate::miner::equal_shares(5));
         let mut rng = Xoshiro256StarStar::new(3);
-        let before = DecentralizationReport::measure(
-            &(0..5).map(|i| game.stake(i)).collect::<Vec<_>>(),
-        );
+        let before =
+            DecentralizationReport::measure(&(0..5).map(|i| game.stake(i)).collect::<Vec<_>>());
         game.run(100_000, &mut rng);
-        let after = DecentralizationReport::measure(
-            &(0..5).map(|i| game.stake(i)).collect::<Vec<_>>(),
+        let after =
+            DecentralizationReport::measure(&(0..5).map(|i| game.stake(i)).collect::<Vec<_>>());
+        assert!(
+            after.gini > before.gini + 0.3,
+            "gini {} → {}",
+            before.gini,
+            after.gini
         );
-        assert!(after.gini > before.gini + 0.3, "gini {} → {}", before.gini, after.gini);
         assert!(after.majority_controlled(), "SL-PoS should centralize");
     }
 
@@ -212,9 +218,8 @@ mod tests {
         let mut game = MiningGame::new(MlPos::new(0.01), &crate::miner::equal_shares(5));
         let mut rng = Xoshiro256StarStar::new(5);
         game.run(20_000, &mut rng);
-        let report = DecentralizationReport::measure(
-            &(0..5).map(|i| game.stake(i)).collect::<Vec<_>>(),
-        );
+        let report =
+            DecentralizationReport::measure(&(0..5).map(|i| game.stake(i)).collect::<Vec<_>>());
         // ML-PoS spreads but rarely collapses to a single majority holder
         // from an equal start at small w.
         assert!(report.nakamoto >= 2, "nakamoto {}", report.nakamoto);

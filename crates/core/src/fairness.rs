@@ -111,8 +111,7 @@ pub fn equitability(samples: &[f64], a: f64) -> f64 {
     assert!(!samples.is_empty(), "equitability of empty sample");
     assert!(a > 0.0 && a < 1.0, "share must be in (0,1), got {a}");
     let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
-    let var: f64 =
-        samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    let var: f64 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
     var / (a * (1.0 - a))
 }
 
@@ -141,12 +140,7 @@ impl FairnessVerdict {
     /// # Panics
     /// Panics if `samples` is empty.
     #[must_use]
-    pub fn evaluate(
-        samples: &[f64],
-        a: f64,
-        eps_delta: EpsilonDelta,
-        mean_tolerance: f64,
-    ) -> Self {
+    pub fn evaluate(samples: &[f64], a: f64, eps_delta: EpsilonDelta, mean_tolerance: f64) -> Self {
         let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
         let unfair = unfair_probability(samples, a, eps_delta);
         Self {

@@ -230,8 +230,7 @@ impl<P: IncentiveProtocol> MiningGame<P> {
             "earned {earned} != issued {issued}"
         );
         if self.protocol.rewards_compound() {
-            let power: f64 =
-                self.stakes.iter().sum::<f64>() + self.pending.iter().sum::<f64>();
+            let power: f64 = self.stakes.iter().sum::<f64>() + self.pending.iter().sum::<f64>();
             debug_assert!(
                 (power - (1.0 + issued)).abs() < 1e-6 * (1.0 + issued),
                 "staking power {power} != 1 + issued {issued}"
@@ -284,8 +283,7 @@ mod tests {
     #[test]
     fn withholding_freezes_stakes_between_checkpoints() {
         let schedule = WithholdingSchedule::every(100);
-        let mut game =
-            MiningGame::new(MlPos::new(0.01), &[0.2, 0.8]).with_withholding(schedule);
+        let mut game = MiningGame::new(MlPos::new(0.01), &[0.2, 0.8]).with_withholding(schedule);
         let mut rng = Xoshiro256StarStar::new(4);
         game.run(99, &mut rng);
         // Nothing effective yet: stakes still at initial values.

@@ -60,13 +60,13 @@ pub use decentralization::DecentralizationReport;
 pub use fairness::{
     equitability, expectational_gap, unfair_probability, EpsilonDelta, FairnessVerdict,
 };
-pub use strategies::{CashOut, MiningPool};
 pub use game::MiningGame;
 pub use montecarlo::{
     run_ensemble, run_ensemble_multi, summarize, BandPoint, EnsembleConfig, EnsembleSummary,
 };
 pub use protocol::{IncentiveProtocol, StepRewards};
 pub use protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+pub use strategies::{CashOut, MiningPool};
 pub use trajectory::{linear_checkpoints, log_checkpoints, Trajectory};
 pub use withholding::WithholdingSchedule;
 
@@ -74,10 +74,7 @@ pub use withholding::WithholdingSchedule;
 pub mod prelude {
     pub use crate::config::{GameConfig, ProtocolConfig};
     pub use crate::decentralization::DecentralizationReport;
-    pub use crate::fairness::{
-        equitability, unfair_probability, EpsilonDelta, FairnessVerdict,
-    };
-    pub use crate::strategies::{CashOut, MiningPool};
+    pub use crate::fairness::{equitability, unfair_probability, EpsilonDelta, FairnessVerdict};
     pub use crate::game::MiningGame;
     pub use crate::miner::{equal_shares, paper_multi_miner, two_miner};
     pub use crate::montecarlo::{
@@ -85,6 +82,7 @@ pub mod prelude {
     };
     pub use crate::protocol::{IncentiveProtocol, StepRewards};
     pub use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+    pub use crate::strategies::{CashOut, MiningPool};
     pub use crate::theory;
     pub use crate::trajectory::{linear_checkpoints, log_checkpoints};
     pub use crate::withholding::WithholdingSchedule;

@@ -134,11 +134,7 @@ where
             game.run_with_checkpoints(&config.checkpoints, rng).values
         },
     );
-    summarize(
-        protocol.name(),
-        config,
-        &trajectories,
-    )
+    summarize(protocol.name(), config, &trajectories)
 }
 
 /// Runs the ensemble tracking **every** miner, returning one summary per
@@ -176,8 +172,7 @@ where
     let shares = crate::miner::normalize_shares(&config.initial_shares);
     (0..m)
         .map(|i| {
-            let per_rep: Vec<Vec<f64>> =
-                trajectories.iter().map(|reps| reps[i].clone()).collect();
+            let per_rep: Vec<Vec<f64>> = trajectories.iter().map(|reps| reps[i].clone()).collect();
             let mut cfg = config.clone();
             // Evaluate miner i against her own share.
             cfg.initial_shares = {
@@ -288,7 +283,11 @@ mod tests {
         let summary = run_ensemble(&SlPos::new(0.01), &config);
         let last = summary.final_point();
         assert!(last.mean < 0.05, "SL-PoS mean should decay: {}", last.mean);
-        assert!(last.unfair_probability > 0.95, "{}", last.unfair_probability);
+        assert!(
+            last.unfair_probability > 0.95,
+            "{}",
+            last.unfair_probability
+        );
     }
 
     #[test]
@@ -325,7 +324,11 @@ mod tests {
         }
         for (s, &a) in summaries.iter().zip(&shares) {
             assert_eq!(s.share, a);
-            assert!((s.final_point().mean - a).abs() < 0.02, "{}", s.final_point().mean);
+            assert!(
+                (s.final_point().mean - a).abs() < 0.02,
+                "{}",
+                s.final_point().mean
+            );
         }
         // Miner 0's summary agrees with the single-miner path on the same
         // seed.

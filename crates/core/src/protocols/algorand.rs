@@ -39,12 +39,7 @@ impl IncentiveProtocol for Algorand {
 
     fn step(&self, stakes: &[f64], _step: u64, _rng: &mut Xoshiro256StarStar) -> StepRewards {
         let total = total_stake(stakes);
-        StepRewards::Split(
-            stakes
-                .iter()
-                .map(|&s| self.inflation * s / total)
-                .collect(),
-        )
+        StepRewards::Split(stakes.iter().map(|&s| self.inflation * s / total).collect())
     }
 }
 

@@ -121,6 +121,9 @@ mod tests {
         }
         let f = fsl_wins as f64 / n as f64;
         let s = sl_wins as f64 / n as f64;
-        assert!(f > s + 0.05, "FSL {f} should exceed SL {s} by the fairness gap");
+        assert!(
+            f > s + 0.05,
+            "FSL {f} should exceed SL {s} by the fairness gap"
+        );
     }
 }

@@ -196,8 +196,9 @@ mod tests {
             ..EnsembleConfig::paper_default(0.2, 5000, 1500, 51)
         };
         let passive = run_ensemble(&MlPos::new(0.01), &config).final_point().mean;
-        let cash_out =
-            run_ensemble(&CashOut::new(MlPos::new(0.01), 0, 0.2), &config).final_point().mean;
+        let cash_out = run_ensemble(&CashOut::new(MlPos::new(0.01), 0, 0.2), &config)
+            .final_point()
+            .mean;
         assert!((passive - 0.2).abs() < 0.01, "passive {passive}");
         assert!(
             cash_out < 0.15,
@@ -280,8 +281,7 @@ mod tests {
                 solo_survivals += 1;
             }
             let mut rng = Xoshiro256StarStar::new(1000 + seed);
-            let mut game =
-                MiningGame::new(MiningPool::new(SlPos::new(0.05), vec![0, 1]), &shares);
+            let mut game = MiningGame::new(MiningPool::new(SlPos::new(0.05), vec![0, 1]), &shares);
             game.run(30_000, &mut rng);
             if game.stake(0) + game.stake(1) > game.stake(2) {
                 pooled_survivals += 1;

@@ -274,14 +274,7 @@ pub mod cpos {
     /// `Pr[unfair] ≤ 2·exp(−2·γ²·P/(w²(1+(w+v)n)·n))` with
     /// `γ = n·a·(w+v)·ε`.
     #[must_use]
-    pub fn azuma_unfair_bound(
-        n: u64,
-        w: f64,
-        v: f64,
-        shards: u32,
-        a: f64,
-        epsilon: f64,
-    ) -> f64 {
+    pub fn azuma_unfair_bound(n: u64, w: f64, v: f64, shards: u32, a: f64, epsilon: f64) -> f64 {
         let wv = w + v;
         let gamma = n as f64 * a * wv * epsilon;
         let denom = w * w * (1.0 + wv * n as f64) * n as f64;
@@ -343,7 +336,10 @@ mod tests {
         for &n in &[50u64, 200, 1000, 4000] {
             let exact = pow::exact_unfair_probability(n, 0.2, 0.1);
             let bound = pow::hoeffding_unfair_bound(n, 0.2, 0.1);
-            assert!(bound >= exact - 1e-12, "n={n}: bound {bound} < exact {exact}");
+            assert!(
+                bound >= exact - 1e-12,
+                "n={n}: bound {bound} < exact {exact}"
+            );
         }
     }
 
@@ -402,8 +398,8 @@ mod tests {
         assert!((slpos::win_probability_two_miner(0.5) - 0.5).abs() < 1e-12);
         // Symmetry: p(z) + p(1−z) = 1.
         for &z in &[0.1, 0.3, 0.45, 0.7] {
-            let sum = slpos::win_probability_two_miner(z)
-                + slpos::win_probability_two_miner(1.0 - z);
+            let sum =
+                slpos::win_probability_two_miner(z) + slpos::win_probability_two_miner(1.0 - z);
             assert!((sum - 1.0).abs() < 1e-12, "z={z}");
         }
         assert_eq!(slpos::win_probability_two_miner(0.0), 0.0);
@@ -435,7 +431,18 @@ mod tests {
         for stakes in [
             vec![0.1, 0.2, 0.3, 0.4],
             vec![0.25; 4],
-            vec![0.2, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0, 0.8 / 9.0],
+            vec![
+                0.2,
+                0.8 / 9.0,
+                0.8 / 9.0,
+                0.8 / 9.0,
+                0.8 / 9.0,
+                0.8 / 9.0,
+                0.8 / 9.0,
+                0.8 / 9.0,
+                0.8 / 9.0,
+                0.8 / 9.0,
+            ],
         ] {
             let p = slpos::win_probabilities(&stakes);
             let sum: f64 = p.iter().sum();

@@ -35,7 +35,10 @@ pub fn azuma_tail(gamma: f64, sum_sq: f64) -> f64 {
 #[must_use]
 pub fn azuma_tail_ranges(gamma: f64, sum_sq_ranges: f64) -> f64 {
     assert!(gamma >= 0.0, "gamma must be non-negative, got {gamma}");
-    assert!(sum_sq_ranges > 0.0, "sum of squared ranges must be positive");
+    assert!(
+        sum_sq_ranges > 0.0,
+        "sum of squared ranges must be positive"
+    );
     (2.0 * (-2.0 * gamma * gamma / sum_sq_ranges).exp()).min(1.0)
 }
 

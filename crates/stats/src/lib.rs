@@ -38,10 +38,9 @@ pub mod summary;
 pub use ci::{mean_interval, wilson_interval, ConfidenceInterval};
 pub use concentration::{azuma_tail, azuma_tail_ranges, hoeffding_sufficient_n, hoeffding_tail};
 pub use dist::{
-    exponential_race_win, geometric_race_tie, geometric_race_win,
-    geometric_race_win_with_tiebreak, sample_exponential_race, Bernoulli, Beta, Binomial,
-    ContinuousDistribution, Dirichlet, DiscreteDistribution, Exponential, Gamma, Geometric,
-    Multinomial, Normal, Poisson, Uniform,
+    exponential_race_win, geometric_race_tie, geometric_race_win, geometric_race_win_with_tiebreak,
+    sample_exponential_race, Bernoulli, Beta, Binomial, ContinuousDistribution, Dirichlet,
+    DiscreteDistribution, Exponential, Gamma, Geometric, Multinomial, Normal, Poisson, Uniform,
 };
 pub use histogram::{Ecdf, Histogram};
 pub use mc::{run_monte_carlo, McConfig};

@@ -117,10 +117,9 @@ mod tests {
     #[test]
     fn deterministic_across_thread_counts() {
         let run = |threads: usize| -> Vec<f64> {
-            run_monte_carlo(
-                McConfig::new(64, 42).with_threads(threads),
-                |_i, rng| rng.gen::<f64>(),
-            )
+            run_monte_carlo(McConfig::new(64, 42).with_threads(threads), |_i, rng| {
+                rng.gen::<f64>()
+            })
         };
         let one = run(1);
         let four = run(4);

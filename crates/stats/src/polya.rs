@@ -33,9 +33,18 @@ impl PolyaUrn {
     /// Panics unless `a > 0`, `b > 0`, `w > 0`.
     #[must_use]
     pub fn new(a: f64, b: f64, w: f64) -> Self {
-        assert!(a > 0.0 && a.is_finite(), "initial mass a must be > 0, got {a}");
-        assert!(b > 0.0 && b.is_finite(), "initial mass b must be > 0, got {b}");
-        assert!(w > 0.0 && w.is_finite(), "reinforcement w must be > 0, got {w}");
+        assert!(
+            a > 0.0 && a.is_finite(),
+            "initial mass a must be > 0, got {a}"
+        );
+        assert!(
+            b > 0.0 && b.is_finite(),
+            "initial mass b must be > 0, got {b}"
+        );
+        assert!(
+            w > 0.0 && w.is_finite(),
+            "reinforcement w must be > 0, got {w}"
+        );
         Self { a, b, w }
     }
 
@@ -215,9 +224,7 @@ mod tests {
     #[test]
     fn smaller_reward_is_fairer_in_the_limit() {
         // Section 5.4.2: the fair-area mass grows as w shrinks.
-        let mass = |w: f64| {
-            PolyaUrn::new(0.2, 0.8, w).limit_fraction_probability(0.18, 0.22)
-        };
+        let mass = |w: f64| PolyaUrn::new(0.2, 0.8, w).limit_fraction_probability(0.18, 0.22);
         let m4 = mass(1e-4);
         let m3 = mass(1e-3);
         let m2 = mass(1e-2);

@@ -60,8 +60,14 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// converges slowly.
 #[must_use]
 pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "reg_inc_beta requires a,b > 0 (a={a}, b={b})");
-    assert!((0.0..=1.0).contains(&x), "reg_inc_beta requires x in [0,1], got {x}");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "reg_inc_beta requires a,b > 0 (a={a}, b={b})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "reg_inc_beta requires x in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -264,9 +270,9 @@ mod tests {
     fn ln_gamma_large_argument_stirling() {
         // Compare to Stirling series at x = 1000 (very accurate there).
         let x: f64 = 1000.0;
-        let stirling = (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln()
-            + 1.0 / (12.0 * x)
-            - 1.0 / (360.0 * x * x * x);
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+                - 1.0 / (360.0 * x * x * x);
         close(ln_gamma(x), stirling, 1e-12);
     }
 
@@ -294,7 +300,11 @@ mod tests {
     fn inc_beta_symmetry() {
         // I_x(a,b) = 1 − I_{1−x}(b,a).
         for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.5, 0.5, 0.2), (20.0, 80.0, 0.21)] {
-            close(reg_inc_beta(a, b, x), 1.0 - reg_inc_beta(b, a, 1.0 - x), 1e-13);
+            close(
+                reg_inc_beta(a, b, x),
+                1.0 - reg_inc_beta(b, a, 1.0 - x),
+                1e-13,
+            );
         }
     }
 
@@ -304,7 +314,11 @@ mod tests {
         close(reg_inc_beta(2.0, 3.0, 0.4), 0.5248, 1e-10);
         close(reg_inc_beta(0.5, 0.5, 0.5), 0.5, 1e-12);
         // Beta(a/w, b/w) with a=0.2, w=0.01 => Beta(20, 80); P(X <= 0.22):
-        close(reg_inc_beta(20.0, 80.0, 0.22), 0.704_324_066_438_300_4, 1e-9);
+        close(
+            reg_inc_beta(20.0, 80.0, 0.22),
+            0.704_324_066_438_300_4,
+            1e-9,
+        );
     }
 
     #[test]

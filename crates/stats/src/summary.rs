@@ -92,8 +92,8 @@ impl Welford {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
     }
 }
@@ -109,7 +109,10 @@ impl Welford {
 #[must_use]
 pub fn quantile(data: &[f64], q: f64) -> f64 {
     assert!(!data.is_empty(), "quantile of empty data");
-    assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile requires q in [0,1], got {q}"
+    );
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
     quantile_sorted(&sorted, q)
@@ -181,7 +184,9 @@ mod tests {
 
     #[test]
     fn welford_matches_two_pass() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 5.0 + 2.0)
+            .collect();
         let mut w = Welford::new();
         for &x in &data {
             w.push(x);

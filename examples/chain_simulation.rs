@@ -19,8 +19,17 @@ fn describe(net: &NetworkSim, label: &str) {
     let chain = net.chain();
     let tip = chain.tip();
     println!("\n=== {label} ===");
-    println!("height {} | clock {} ticks | supply {} atoms", chain.height(), net.clock(), net.ledger().total_supply());
-    println!("tip {} (merkle {})", tip.hash().short_hex(), tip.header.merkle_root.short_hex());
+    println!(
+        "height {} | clock {} ticks | supply {} atoms",
+        chain.height(),
+        net.clock(),
+        net.ledger().total_supply()
+    );
+    println!(
+        "tip {} (merkle {})",
+        tip.hash().short_hex(),
+        tip.header.merkle_root.short_hex()
+    );
     let user_txs: usize = chain
         .iter()
         .map(|b| b.transactions.iter().filter(|t| !t.is_coinbase()).count())
@@ -76,7 +85,10 @@ fn main() {
         &mut rng,
     );
     mlpos.run_blocks(blocks, &mut rng);
-    describe(&mlpos, "ML-PoS (Qtum stand-in): λ_A fair in expectation, wide spread");
+    describe(
+        &mlpos,
+        "ML-PoS (Qtum stand-in): λ_A fair in expectation, wide spread",
+    );
 
     // SL-PoS network: the NXT lottery — watch the poor miner fade.
     let mut rng = Xoshiro256StarStar::new(13);

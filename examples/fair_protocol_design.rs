@@ -49,7 +49,9 @@ fn main() {
 
     // Step 3: C-PoS style — add inflation reward.
     let cpos = unfair_at(&CPos::new(0.01, 0.1, 1), None, 5000);
-    println!("step 3  + inflation v = 0.1 (C-PoS)      unfair = {cpos:.3}   [dilutes lottery noise]");
+    println!(
+        "step 3  + inflation v = 0.1 (C-PoS)      unfair = {cpos:.3}   [dilutes lottery noise]"
+    );
 
     // Step 4: shard the proposer lottery (Theorem 4.10's 1/P factor).
     let sharded = unfair_at(&CPos::new(0.01, 0.1, 32), None, 5000);

@@ -7,12 +7,7 @@
 
 use blockchain_fairness::prelude::*;
 
-fn run(
-    name: &str,
-    protocol: &(impl IncentiveProtocol + Clone),
-    config: &EnsembleConfig,
-    a: f64,
-) {
+fn run(name: &str, protocol: &(impl IncentiveProtocol + Clone), config: &EnsembleConfig, a: f64) {
     let summary = run_ensemble(protocol, config);
     let p = summary.final_point();
     let ed = EpsilonDelta::default();
@@ -22,8 +17,16 @@ fn run(
         p.mean,
         p.mean - a,
         p.unfair_probability,
-        if (p.mean - a).abs() < 0.01 { "yes" } else { "NO" },
-        if ed.accepts(p.unfair_probability) { "yes" } else { "NO" },
+        if (p.mean - a).abs() < 0.01 {
+            "yes"
+        } else {
+            "NO"
+        },
+        if ed.accepts(p.unfair_probability) {
+            "yes"
+        } else {
+            "NO"
+        },
     );
 }
 
@@ -35,7 +38,10 @@ fn main() {
         ..EnsembleConfig::paper_default(a, 5000, 2000, 99)
     };
 
-    println!("a = {a}, w = {w}, v = {v}, horizon 5000, {} repetitions\n", config.repetitions);
+    println!(
+        "a = {a}, w = {w}, v = {v}, horizon 5000, {} repetitions\n",
+        config.repetitions
+    );
     println!(
         "{:<10} {:>9} {:>9} {:>11} {:>8} {:>8}",
         "protocol", "mean λ", "bias", "unfair", "E-fair?", "robust?"

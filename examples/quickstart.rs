@@ -16,8 +16,15 @@ fn main() {
     let horizon = 3000;
     let repetitions = 2000;
 
-    println!("miner A holds {:.0}% | w = {w} | v = {v} | horizon = {horizon} blocks", a * 100.0);
-    println!("(ε, δ) = (0.1, 0.1): fair area = [{:.3}, {:.3}]\n", 0.9 * a, 1.1 * a);
+    println!(
+        "miner A holds {:.0}% | w = {w} | v = {v} | horizon = {horizon} blocks",
+        a * 100.0
+    );
+    println!(
+        "(ε, δ) = (0.1, 0.1): fair area = [{:.3}, {:.3}]\n",
+        0.9 * a,
+        1.1 * a
+    );
     println!(
         "{:<10} {:>10} {:>14} {:>14} {:>10}",
         "protocol", "mean λ_A", "5th–95th pct", "unfair prob", "verdict"

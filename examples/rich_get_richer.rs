@@ -55,5 +55,7 @@ fn main() {
         );
     }
     println!("\nTheorem 4.9: λ_A → 0 or 1 almost surely — the game always ends in monopoly.");
-    println!("At a = 0.5 the coin is fair (half the games each way); below it, the poor miner dies.");
+    println!(
+        "At a = 0.5 the coin is fair (half the games each way); below it, the poor miner dies."
+    );
 }

@@ -95,10 +95,9 @@ fn experiments_reproducible_across_thread_counts() {
     // experiments must therefore be identical under different parallelism.
     let config = ExperimentConfig::two_miner(ProtocolKind::SlPos, 0.2, 0.01, 60);
     let run = |threads: usize| {
-        run_monte_carlo(
-            McConfig::new(12, 99).with_threads(threads),
-            |_i, rng| run_experiment(&config, rng).final_lambda,
-        )
+        run_monte_carlo(McConfig::new(12, 99).with_threads(threads), |_i, rng| {
+            run_experiment(&config, rng).final_lambda
+        })
     };
     assert_eq!(run(1), run(4));
 }

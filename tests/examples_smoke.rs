@@ -1,0 +1,39 @@
+//! Smoke test: every example must *run*, not just compile, so the
+//! `examples/` directory cannot rot. Each example is executed via
+//! `cargo run --example` in the same profile as this test run (a cache
+//! hit, since `cargo test` already built the examples).
+
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "quickstart",
+    "rich_get_richer",
+    "protocol_comparison",
+    "chain_simulation",
+    "fair_protocol_design",
+    "mining_pools",
+];
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .current_dir(manifest_dir)
+            .args(["run", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` printed nothing"
+        );
+    }
+}

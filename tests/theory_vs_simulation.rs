@@ -117,7 +117,10 @@ fn slpos_monopolizes_per_theorem_4_9() {
             game.stake(0) / (game.stake(0) + game.stake(1))
         },
     );
-    let absorbed = samples.iter().filter(|&&z| !(0.02..=0.98).contains(&z)).count();
+    let absorbed = samples
+        .iter()
+        .filter(|&&z| !(0.02..=0.98).contains(&z))
+        .count();
     assert!(
         absorbed as f64 / reps as f64 > 0.95,
         "only {absorbed}/{reps} games reached absorption"
@@ -175,9 +178,13 @@ fn expectational_fairness_table() {
     let config = paper_ensemble(a, 2000, 4000, 41);
     let shares = two_miner(a);
     let fair_means = [
-        run_ensemble(&Pow::new(&shares, 0.01), &config).final_point().mean,
+        run_ensemble(&Pow::new(&shares, 0.01), &config)
+            .final_point()
+            .mean,
         run_ensemble(&MlPos::new(0.01), &config).final_point().mean,
-        run_ensemble(&CPos::new(0.01, 0.1, 1), &config).final_point().mean,
+        run_ensemble(&CPos::new(0.01, 0.1, 1), &config)
+            .final_point()
+            .mean,
         run_ensemble(&FslPos::new(0.01), &config).final_point().mean,
     ];
     for (i, mean) in fair_means.iter().enumerate() {

@@ -1,0 +1,30 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+
+/// Strategy for `Vec<T>` with element strategy `S` and a length range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    length: Range<usize>,
+}
+
+/// `vec(element, 1..12)` — a vector whose length is drawn uniformly from
+/// `length` and whose elements are drawn from `element`.
+///
+/// The length is a concrete `Range<usize>` (not a strategy) so that bare
+/// integer literals infer correctly, matching how the real proptest's
+/// `SizeRange` behaves in practice.
+pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, length }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.length.clone().sample(rng);
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

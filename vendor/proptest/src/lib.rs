@@ -1,0 +1,110 @@
+#![warn(missing_docs)]
+
+//! Minimal in-tree stand-in for [`proptest`](https://proptest-rs.github.io/proptest/).
+//!
+//! The container building this workspace is offline, so the real proptest
+//! cannot be fetched. This stub keeps the same *test-side* API — the
+//! [`proptest!`] macro, `any::<T>()`, range strategies,
+//! `prop::collection::vec`, `prop::array::uniform4`, tuple strategies and
+//! the `prop_assert*`/`prop_assume` macros — backed by a deterministic
+//! random sampler instead of proptest's shrinking engine.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * inputs are sampled from a SplitMix64 stream seeded by the test name,
+//!   so every run (and every CI run) exercises the same cases;
+//! * there is no shrinking — on failure the offending inputs are printed
+//!   verbatim instead;
+//! * the number of cases per property defaults to 64 and can be raised
+//!   with the `PROPTEST_CASES` environment variable.
+
+pub mod array;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Strategy};
+
+pub mod prelude {
+    //! Glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        //! The `prop::` module alias familiar from the real proptest.
+        pub use crate::array;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..cases {
+                    let mut __inputs: Vec<String> = Vec::new();
+                    $(
+                        let $pat = {
+                            let __v = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                            __inputs.push(format!("{} = {:?}", stringify!($pat), &__v));
+                            __v
+                        };
+                    )+
+                    let __guard = $crate::test_runner::CaseGuard::new(
+                        stringify!($name),
+                        __case,
+                        &__inputs,
+                    );
+                    $body
+                    drop(__guard);
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a property; sugar for `assert!` that also reports the sampled
+/// inputs of the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skip the current case when a precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        #[allow(clippy::needless_continue)]
+        if !($cond) {
+            continue;
+        }
+    };
+}

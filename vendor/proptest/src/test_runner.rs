@@ -1,0 +1,76 @@
+//! Deterministic sampling stream and failure reporting for the stub runner.
+
+/// Default number of cases per property (override with `PROPTEST_CASES`).
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Number of cases to run per property.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES)
+}
+
+/// SplitMix64 stream seeded from the test name — the same inputs are
+/// sampled on every run, on every machine.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the stream from a test name (FNV-1a over the name bytes).
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next uniform `u128`.
+    pub fn next_u128(&mut self) -> u128 {
+        (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64())
+    }
+
+    /// Next uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Prints the sampled inputs of a case if the case body panics, standing in
+/// for proptest's shrinking report.
+pub struct CaseGuard {
+    message: String,
+}
+
+impl CaseGuard {
+    /// Arm the guard for one case.
+    pub fn new(test: &str, case: u32, inputs: &[String]) -> Self {
+        CaseGuard {
+            message: format!(
+                "proptest stub: `{test}` failed on case {case} with inputs:\n    {}",
+                inputs.join("\n    ")
+            ),
+        }
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("{}", self.message);
+        }
+    }
+}

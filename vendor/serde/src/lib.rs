@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! Minimal in-tree stand-in for [`serde`](https://serde.rs).
+//!
+//! The fairness workspace derives `Serialize`/`Deserialize` on its config
+//! and result types so that downstream users can persist them, but nothing
+//! in-tree actually serializes (there is no `serde_json` here and the
+//! container is offline). This stub keeps the *trait vocabulary* and the
+//! derive attribute compiling: `Serialize` and `Deserialize` are marker
+//! traits, and `#[derive(Serialize, Deserialize)]` emits empty impls.
+//! Swapping in the real serde is a one-line change in the root
+//! `Cargo.toml` and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+///
+/// The real serde trait has a `serialize` method; this stub only carries
+/// the bound so `#[derive(Serialize)]` and `T: Serialize` compile.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+pub mod de {
+    //! Deserialization traits (stub).
+
+    /// Marker for types deserializable from owned data — blanket-implemented
+    /// for every `T: Deserialize<'de>` exactly like the real serde.
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+
+    pub use super::Deserialize;
+}

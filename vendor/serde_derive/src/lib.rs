@@ -1,0 +1,66 @@
+//! Proc-macro half of the in-tree serde stub.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` emit *empty* marker
+//! impls (`impl serde::Serialize for T {}`), which is all the workspace
+//! needs — nothing in-tree performs real serialization. Implemented with
+//! the compiler-provided `proc_macro` API only (no `syn`/`quote`, since
+//! the build container is offline).
+//!
+//! Supported input shapes: non-generic `struct`s and `enum`s, which covers
+//! every derive site in the workspace. Generic types produce a clear
+//! compile error rather than a broken impl.
+
+use proc_macro::TokenStream;
+use proc_macro::TokenTree;
+
+/// Extract the type name following `struct`/`enum`/`union`, and whether the
+/// type has generic parameters.
+fn type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => return Err(format!("expected type name after `{kw}`, got {other:?}")),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        return Err(format!(
+                            "the in-tree serde stub cannot derive for generic type `{name}`; \
+                             write the marker impl by hand or vendor the real serde"
+                        ));
+                    }
+                }
+                return Ok(name);
+            }
+        }
+    }
+    Err("derive input contained no struct/enum/union".to_string())
+}
+
+fn emit(input: TokenStream, render: impl Fn(&str) -> String) -> TokenStream {
+    match type_name(input) {
+        Ok(name) => render(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Derive the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Derive the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
