@@ -1,21 +1,26 @@
 //! `repro` — regenerate every figure and table of the paper.
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|all]
-//!       [--quick] [--reps N] [--system-reps N] [--seed N]
-//!       [--no-system] [--out DIR]
+//! repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|all]
+//!       [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]
+//!       [--max-miners N] [--no-system] [--out DIR] [--timings FILE]
 //! ```
 //!
 //! Run with `cargo run --release --bin repro -- all`. Results print to
 //! stdout and CSVs land under `results/` (override with `--out`).
+//! `--jobs N` bounds the shared worker budget (experiments, sweep points
+//! and Monte-Carlo repetitions); output is bit-identical for every `N`.
 
-use fairness_bench::{experiments, ReproOptions};
+use fairness_bench::experiments::{find, registry, Harness};
+use fairness_bench::schedule::{run_schedule, timings_json};
+use fairness_bench::ReproOptions;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|all]\n\
-     \x20            [--quick] [--reps N] [--system-reps N] [--seed N] [--no-system] [--out DIR]\n\
+    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|all]\n\
+     \x20            [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]\n\
+     \x20            [--max-miners N] [--no-system] [--out DIR] [--timings FILE]\n\
      \n\
      figures/tables (Huang et al., SIGMOD 2021):\n\
      \x20 fig1       SL-PoS win probability vs current share (drift to 0/1)\n\
@@ -24,30 +29,62 @@ fn usage() -> &'static str {
      \x20 fig4       SL-PoS mean lambda_A: share sweep + reward sweep\n\
      \x20 fig5       unfair probability: w sweeps (ML/SL/C-PoS) + v sweep\n\
      \x20 fig6       FSL-PoS treatment, with and without reward withholding\n\
-     \x20 table1     multi-miner game (2..10 miners, all four protocols)\n\
+     \x20 table1     multi-miner game ({2..5} then 10,15,.. up to --max-miners)\n\
      \x20 ablations  shard sweep, withholding-period sweep, Section 6.4 sketches\n\
      \x20 extensions cash-out miners, mining pools, decentralization, equitability\n\
-     \x20 all        everything above"
+     \x20 all        everything above\n\
+     \n\
+     flags:\n\
+     \x20 --jobs N       worker budget per scheduling layer (0 = one per core;\n\
+     \x20                results are bit-identical for every N — only wall-clock\n\
+     \x20                changes)\n\
+     \x20 --max-miners N Table-1 sweep cap: m in {2,3,4,5} plus multiples of 5\n\
+     \x20                up to N (default 10 = the paper's {2,3,4,5,10})\n\
+     \x20 --timings FILE write per-experiment wall-clock JSON ({target, seconds, reps})"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = ReproOptions::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut timings_path: Option<PathBuf> = None;
+    // `--quick` only rescales repetition counts the user did not set
+    // explicitly, regardless of flag order.
+    let mut quick = false;
+    let mut reps_set = false;
+    let mut system_reps_set = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => {
-                opts = ReproOptions {
-                    results_dir: opts.results_dir.clone(),
-                    ..ReproOptions::quick()
+            "--quick" => quick = true,
+            "--no-system" => opts.with_system = false,
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => opts.jobs = v,
+                    None => {
+                        eprintln!("--jobs needs a number\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
-            "--no-system" => opts.with_system = false,
+            "--max-miners" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) if v >= 2 => opts.max_miners = v,
+                    _ => {
+                        eprintln!("--max-miners needs a number >= 2\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--reps" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(v) => opts.repetitions = v,
+                    Some(v) => {
+                        opts.repetitions = v;
+                        reps_set = true;
+                    }
                     None => {
                         eprintln!("--reps needs a number\n{}", usage());
                         return ExitCode::FAILURE;
@@ -57,7 +94,10 @@ fn main() -> ExitCode {
             "--system-reps" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(v) => opts.system_repetitions = v,
+                    Some(v) => {
+                        opts.system_repetitions = v;
+                        system_reps_set = true;
+                    }
                     None => {
                         eprintln!("--system-reps needs a number\n{}", usage());
                         return ExitCode::FAILURE;
@@ -84,6 +124,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--timings" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => timings_path = Some(PathBuf::from(v)),
+                    None => {
+                        eprintln!("--timings needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "-h" | "--help" => {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -96,54 +146,83 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if quick {
+        let scale = ReproOptions::quick();
+        if !reps_set {
+            opts.repetitions = scale.repetitions;
+        }
+        if !system_reps_set {
+            opts.system_repetitions = scale.system_repetitions;
+        }
+    }
     if targets.is_empty() {
         targets.push("all".to_owned());
     }
-    let all = [
-        "fig1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "table1",
-        "ablations",
-        "extensions",
-    ];
-    let expanded: Vec<&str> = if targets.iter().any(|t| t == "all") {
-        all.to_vec()
+
+    // Resolve targets against the registry, preserving canonical order for
+    // `all` and request order otherwise.
+    let selected: Vec<_> = if targets.iter().any(|t| t == "all") {
+        registry().to_vec()
     } else {
-        targets.iter().map(String::as_str).collect()
+        let mut selected = Vec::new();
+        for t in &targets {
+            match find(t) {
+                Some(e) => selected.push(e),
+                None => {
+                    eprintln!("unknown target {t}\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
     };
 
-    for target in expanded {
-        let started = std::time::Instant::now();
-        let result = match target {
-            "fig1" => experiments::fig1(&opts),
-            "fig2" => experiments::fig2(&opts),
-            "fig3" => experiments::fig3(&opts),
-            "fig4" => experiments::fig4(&opts),
-            "fig5" => experiments::fig5(&opts),
-            "fig6" => experiments::fig6(&opts),
-            "table1" => experiments::table1(&opts),
-            "ablations" => experiments::ablations(&opts),
-            "extensions" => experiments::extensions(&opts),
-            other => {
-                eprintln!("unknown target {other}\n{}", usage());
-                return ExitCode::FAILURE;
-            }
-        };
-        match result {
+    // One shared worker budget for everything: the experiment scheduler,
+    // each figure's sweep points, and the Monte-Carlo inner loops.
+    fairness_stats::mc::set_global_threads(opts.jobs);
+    let reps = opts.repetitions;
+    let harness = Harness::new(opts);
+
+    let started = std::time::Instant::now();
+    let outcomes = run_schedule(&selected, &harness.ctx());
+    let total = started.elapsed().as_secs_f64();
+
+    let mut failed = false;
+    for outcome in &outcomes {
+        println!("{}", "=".repeat(78));
+        match &outcome.report {
             Ok(report) => {
-                println!("{}", "=".repeat(78));
                 println!("{report}");
-                println!("[{target} done in {:.1}s]", started.elapsed().as_secs_f64());
+                println!("[{} done in {:.1}s]", outcome.name, outcome.seconds);
             }
             Err(e) => {
-                eprintln!("{target} failed: {e}");
-                return ExitCode::FAILURE;
+                eprintln!("{} failed: {e}", outcome.name);
+                failed = true;
             }
         }
     }
-    ExitCode::SUCCESS
+    println!("{}", "=".repeat(78));
+    println!(
+        "[{} experiments in {total:.1}s wall-clock, jobs={}; sweep cache: {} ensembles, {} hits / {} misses]",
+        outcomes.len(),
+        harness.ctx().pool.jobs(),
+        harness.cache().len(),
+        harness.cache().hits(),
+        harness.cache().misses(),
+    );
+
+    if let Some(path) = timings_path {
+        if let Err(e) = std::fs::write(&path, timings_json(&outcomes, reps)) {
+            eprintln!("writing timings to {} failed: {e}", path.display());
+            failed = true;
+        } else {
+            println!("[timings written to {}]", path.display());
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -1,0 +1,275 @@
+//! Content-addressed memoization of closed-form ensembles.
+//!
+//! The paper's figures sweep overlapping grids: Figure 2's `a = 0.2`
+//! panels are Figure 3's `a = 0.2` columns, Figure 5(c)'s `w = 0.01` point
+//! equals Figure 5(d)'s `v = 0.1` point, and the ablations re-anchor at
+//! the paper-default C-PoS. Instead of recomputing (as the pre-registry
+//! harness did, with ad-hoc per-figure seed salts), every ensemble is
+//! keyed by its *semantic content* — protocol fingerprint, shares,
+//! checkpoints, repetitions, `(ε, δ)` and withholding — and cached.
+//!
+//! The key also *derives the ensemble's seed* (mixed with the run's master
+//! seed via [`StableHasher`]). That is what makes sharing sound: two
+//! figures requesting the same configuration get the same seed, hence the
+//! same trajectories, hence one cache entry — and results stay
+//! bit-identical whatever the scheduling, thread count, or subset of
+//! experiments selected.
+
+use fairness_core::fairness::EpsilonDelta;
+use fairness_core::montecarlo::{run_ensemble, EnsembleConfig, EnsembleSummary};
+use fairness_core::protocol::IncentiveProtocol;
+use fairness_core::withholding::WithholdingSchedule;
+use fairness_stats::cache::{MemoCache, StableHasher};
+use std::sync::Arc;
+
+/// The semantic identity of a closed-form ensemble computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnsembleKey {
+    protocol: &'static str,
+    compound: bool,
+    /// Protocol parameters ([`IncentiveProtocol::params`]), by bit pattern.
+    params: Vec<u64>,
+    /// Initial shares, by bit pattern.
+    shares: Vec<u64>,
+    checkpoints: Vec<u64>,
+    repetitions: usize,
+    /// `(ε, δ)` by bit pattern.
+    eps_delta: (u64, u64),
+    /// Withholding period, if any.
+    withholding: Option<u64>,
+}
+
+impl EnsembleKey {
+    /// Builds the key for running `protocol` from `shares` over
+    /// `checkpoints`.
+    #[must_use]
+    pub fn new<P: IncentiveProtocol>(
+        protocol: &P,
+        shares: &[f64],
+        checkpoints: &[u64],
+        repetitions: usize,
+        eps_delta: EpsilonDelta,
+        withholding: Option<WithholdingSchedule>,
+    ) -> Self {
+        Self {
+            protocol: protocol.name(),
+            compound: protocol.rewards_compound(),
+            params: protocol.params().iter().map(|p| p.to_bits()).collect(),
+            shares: shares.iter().map(|s| s.to_bits()).collect(),
+            checkpoints: checkpoints.to_vec(),
+            repetitions,
+            eps_delta: (eps_delta.epsilon.to_bits(), eps_delta.delta.to_bits()),
+            withholding: withholding.map(|w| w.period),
+        }
+    }
+
+    /// The ensemble's master seed: a stable digest of the key mixed with
+    /// the run's master seed. Content-derived, so identical configurations
+    /// collide on purpose and unrelated ones get well-separated streams.
+    #[must_use]
+    pub fn seed(&self, master_seed: u64) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_u64(master_seed);
+        h.write_str(self.protocol);
+        h.write_u64(u64::from(self.compound));
+        h.write_u64(self.params.len() as u64);
+        for &p in &self.params {
+            h.write_u64(p);
+        }
+        h.write_u64(self.shares.len() as u64);
+        for &s in &self.shares {
+            h.write_u64(s);
+        }
+        h.write_u64(self.checkpoints.len() as u64);
+        for &c in &self.checkpoints {
+            h.write_u64(c);
+        }
+        h.write_u64(self.repetitions as u64);
+        h.write_u64(self.eps_delta.0);
+        h.write_u64(self.eps_delta.1);
+        h.write_u64(self.withholding.map_or(u64::MAX, |p| p));
+        h.finish()
+    }
+}
+
+/// Memoized closed-form ensembles, shared by every experiment of a run.
+#[derive(Debug)]
+pub struct SweepCache {
+    master_seed: u64,
+    eps_delta: EpsilonDelta,
+    inner: MemoCache<EnsembleKey, Arc<EnsembleSummary>>,
+}
+
+impl SweepCache {
+    /// Creates a cache whose ensemble seeds mix in `master_seed` (the
+    /// `--seed` flag), evaluated at the paper's default `(ε, δ)`.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            master_seed,
+            eps_delta: EpsilonDelta::default(),
+            inner: MemoCache::new(),
+        }
+    }
+
+    /// Returns the ensemble for this configuration, computing it at most
+    /// once per cache lifetime.
+    pub fn ensemble<P>(
+        &self,
+        protocol: &P,
+        shares: &[f64],
+        checkpoints: &[u64],
+        repetitions: usize,
+        withholding: Option<WithholdingSchedule>,
+    ) -> Arc<EnsembleSummary>
+    where
+        P: IncentiveProtocol + Clone,
+    {
+        let key = EnsembleKey::new(
+            protocol,
+            shares,
+            checkpoints,
+            repetitions,
+            self.eps_delta,
+            withholding,
+        );
+        let seed = key.seed(self.master_seed);
+        self.inner.get_or_insert_with(&key, || {
+            let config = EnsembleConfig {
+                initial_shares: shares.to_vec(),
+                checkpoints: checkpoints.to_vec(),
+                repetitions,
+                seed,
+                eps_delta: self.eps_delta,
+                withholding,
+            };
+            Arc::new(run_ensemble(protocol, &config))
+        })
+    }
+
+    /// Lookups answered without recomputation.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.inner.hits()
+    }
+
+    /// Lookups that ran an ensemble.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.inner.misses()
+    }
+
+    /// Number of distinct ensembles held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no ensembles are cached yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fairness_core::prelude::*;
+
+    #[test]
+    fn identical_configs_share_one_computation() {
+        let cache = SweepCache::new(99);
+        let shares = two_miner(0.2);
+        let cp = vec![50, 100];
+        let a = cache.ensemble(&MlPos::new(0.01), &shares, &cp, 40, None);
+        let b = cache.ensemble(&MlPos::new(0.01), &shares, &cp, 40, None);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn distinct_params_distinct_entries_and_streams() {
+        let cache = SweepCache::new(99);
+        let shares = two_miner(0.2);
+        let cp = vec![50, 100];
+        let a = cache.ensemble(&MlPos::new(0.01), &shares, &cp, 40, None);
+        let b = cache.ensemble(&MlPos::new(0.001), &shares, &cp, 40, None);
+        assert_eq!(cache.misses(), 2);
+        assert_ne!(a.points, b.points);
+    }
+
+    #[test]
+    fn same_name_different_protocol_params_do_not_collide() {
+        // CPos at different shard counts shares a name; the params
+        // fingerprint must keep the entries apart.
+        let cache = SweepCache::new(1);
+        let shares = two_miner(0.2);
+        let cp = vec![100];
+        let _ = cache.ensemble(&CPos::new(0.01, 0.0, 1), &shares, &cp, 40, None);
+        let _ = cache.ensemble(&CPos::new(0.01, 0.0, 32), &shares, &cp, 40, None);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn withholding_is_part_of_the_key() {
+        let cache = SweepCache::new(1);
+        let shares = two_miner(0.2);
+        let cp = vec![100];
+        let plain = cache.ensemble(&FslPos::new(0.01), &shares, &cp, 40, None);
+        let withheld = cache.ensemble(
+            &FslPos::new(0.01),
+            &shares,
+            &cp,
+            40,
+            Some(WithholdingSchedule::every(50)),
+        );
+        assert_eq!(cache.len(), 2);
+        assert_ne!(plain.points, withheld.points);
+    }
+
+    #[test]
+    fn master_seed_changes_every_stream() {
+        let key = EnsembleKey::new(
+            &MlPos::new(0.01),
+            &two_miner(0.2),
+            &[100],
+            40,
+            EpsilonDelta::default(),
+            None,
+        );
+        assert_ne!(key.seed(1), key.seed(2));
+        assert_eq!(key.seed(1), key.seed(1));
+    }
+
+    #[test]
+    fn cached_result_matches_direct_run() {
+        // The cache must be a pure memoization layer: same seed, same
+        // config, same summary as calling run_ensemble directly.
+        let cache = SweepCache::new(5);
+        let shares = two_miner(0.3);
+        let cp = vec![50, 200];
+        let cached = cache.ensemble(&SlPos::new(0.01), &shares, &cp, 50, None);
+        let key = EnsembleKey::new(
+            &SlPos::new(0.01),
+            &shares,
+            &cp,
+            50,
+            EpsilonDelta::default(),
+            None,
+        );
+        let direct = run_ensemble(
+            &SlPos::new(0.01),
+            &EnsembleConfig {
+                initial_shares: shares,
+                checkpoints: cp,
+                repetitions: 50,
+                seed: key.seed(5),
+                eps_delta: EpsilonDelta::default(),
+                withholding: None,
+            },
+        );
+        assert_eq!(*cached, direct);
+    }
+}

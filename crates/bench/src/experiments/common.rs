@@ -1,0 +1,75 @@
+//! Constants and rendering helpers shared by the figure modules.
+
+use crate::report::{fmt4, TextTable};
+use fairness_core::montecarlo::EnsembleSummary;
+
+/// Effective shard count reproducing the paper's simulated C-PoS
+/// magnitudes (see the crate docs for the reconstruction argument).
+pub const P_EFF: u32 = 1;
+
+/// The paper's default miner-A share.
+pub const A_DEFAULT: f64 = 0.2;
+/// The paper's default block/proposer reward.
+pub const W_DEFAULT: f64 = 0.01;
+/// The paper's default inflation reward.
+pub const V_DEFAULT: f64 = 0.1;
+
+/// CSV rows for a band summary: `n, mean, p05, p95, unfair`.
+pub fn band_rows(summary: &EnsembleSummary) -> Vec<Vec<f64>> {
+    summary
+        .points
+        .iter()
+        .map(|p| vec![p.n as f64, p.mean, p.p05, p.p95, p.unfair_probability])
+        .collect()
+}
+
+/// Renders a band summary as an aligned table, showing about
+/// `rows_to_show` evenly spaced checkpoints.
+pub fn render_band_table(summary: &EnsembleSummary, rows_to_show: usize) -> String {
+    let mut t = TextTable::new(vec!["n", "mean", "p05", "p95", "unfair"]);
+    let step = (summary.points.len() / rows_to_show).max(1);
+    for p in summary.points.iter().step_by(step) {
+        t.row(vec![
+            p.n.to_string(),
+            fmt4(p.mean),
+            fmt4(p.p05),
+            fmt4(p.p95),
+            fmt4(p.unfair_probability),
+        ]);
+    }
+    t.render()
+}
+
+/// Dense checkpoint grid for convergence-time detection (Table 1): every 4
+/// steps to 400, every 25 to 2000, every 100 beyond.
+pub fn convergence_grid(horizon: u64) -> Vec<u64> {
+    let mut pts = Vec::new();
+    let mut n = 4u64;
+    while n <= horizon {
+        pts.push(n);
+        n += if n < 400 {
+            4
+        } else if n < 2000 {
+            25
+        } else {
+            100
+        };
+    }
+    if *pts.last().expect("non-empty") != horizon {
+        pts.push(horizon);
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_grid_shape() {
+        let g = convergence_grid(3000);
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*g.last().expect("non-empty"), 3000);
+        assert!(g[0] <= 10);
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 1: the SL-PoS drift field.
+
+use super::ExperimentContext;
+use crate::report::TextTable;
+use crate::report::{fmt4, write_csv};
+use fairness_core::theory;
+use std::fmt::Write as _;
+use std::io;
+
+/// Figure 1: SL-PoS probability of winning the next block as a function of
+/// the current stake fraction `Z_n`, with the drift toward the absorbing
+/// states 0 and 1.
+pub fn fig1(ctx: &ExperimentContext) -> io::Result<String> {
+    let opts = ctx.opts;
+    let mut rows = Vec::new();
+    for i in 0..=100u32 {
+        let z = f64::from(i) / 100.0;
+        let win = theory::slpos::win_probability_two_miner(z);
+        rows.push(vec![z, win, theory::slpos::drift(z)]);
+    }
+    let path = write_csv(
+        &opts.results_dir,
+        "fig1_slpos_win_probability",
+        &["z", "win_prob", "drift"],
+        &rows,
+    )?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 1 — SL-PoS win probability vs current share Z_n"
+    );
+    let mut t = TextTable::new(vec!["Z_n", "Pr[win next block]", "drift f(Z)"]);
+    for i in (0..=10).map(|k| k * 10) {
+        let z = f64::from(i) / 100.0;
+        t.row(vec![
+            format!("{z:.1}"),
+            fmt4(theory::slpos::win_probability_two_miner(z)),
+            format!("{:+.4}", theory::slpos::drift(z)),
+        ]);
+    }
+    out.push_str(&t.render());
+    let zeros = theory::slpos::zeros();
+    let _ = writeln!(
+        out,
+        "drift zeros: {}",
+        zeros
+            .iter()
+            .map(|(q, s)| format!("{q:.2} ({s:?})"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "paper: Z<1/2 drifts to 0, Z>1/2 drifts to 1, 1/2 unstable."
+    );
+    let _ = writeln!(out, "csv: {}", path.display());
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::tiny_harness;
+    use super::*;
+
+    #[test]
+    fn fig1_reports_drift_zeros() {
+        let h = tiny_harness("fig1");
+        let out = fig1(&h.ctx()).expect("fig1");
+        assert!(out.contains("0.00 (Stable)"));
+        assert!(out.contains("0.50 (Unstable)"));
+        assert!(out.contains("1.00 (Stable)"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 2: band evolution under the four protocols.
+
+use super::common::{band_rows, render_band_table, A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
+use super::ExperimentContext;
+use crate::report::{fmt4, write_csv};
+use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
+use fairness_core::montecarlo::{summarize, EnsembleConfig, EnsembleSummary};
+use fairness_core::prelude::*;
+use fairness_stats::mc::{run_monte_carlo, McConfig};
+use std::fmt::Write as _;
+use std::io;
+use std::sync::Arc;
+
+/// Figure 2: evolution of `λ_A` (mean, 5th–95th percentile band) for PoW,
+/// ML-PoS, SL-PoS and C-PoS with `a = 0.2`, `w = 0.01`, `v = 0.1`.
+/// With `--system`, hash-level chain-sim trajectories overlay the closed
+/// -form simulation (the paper's green bars vs blue bands).
+pub fn fig2(ctx: &ExperimentContext) -> io::Result<String> {
+    let opts = ctx.opts;
+    let horizon = 5000;
+    let checkpoints = linear_checkpoints(horizon, 25);
+    let shares = two_miner(A_DEFAULT);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 2 — evolution of λ_A (a=0.2, w=0.01, v=0.1), {} repetitions",
+        opts.repetitions
+    );
+
+    let labels = ["(a) PoW", "(b) ML-PoS", "(c) SL-PoS", "(d) C-PoS"];
+    let summaries: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(4, |i| match i {
+        0 => ctx.ensemble(&Pow::new(&shares, W_DEFAULT), &shares, &checkpoints),
+        1 => ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, &checkpoints),
+        2 => ctx.ensemble(&SlPos::new(W_DEFAULT), &shares, &checkpoints),
+        _ => ctx.ensemble(
+            &CPos::new(W_DEFAULT, V_DEFAULT, P_EFF),
+            &shares,
+            &checkpoints,
+        ),
+    });
+    for (label, summary) in labels.iter().zip(&summaries) {
+        let name = format!("fig2_{}", summary.protocol.to_lowercase().replace('-', ""));
+        let path = write_csv(
+            &opts.results_dir,
+            &name,
+            &["n", "mean", "p05", "p95", "unfair"],
+            &band_rows(summary),
+        )?;
+        let _ = writeln!(
+            out,
+            "\n{label}  [fair area 0.18..0.22]  csv: {}",
+            path.display()
+        );
+        out.push_str(&render_band_table(summary, 6));
+    }
+
+    if opts.with_system {
+        out.push_str("\nhash-level system runs (chain-sim stand-ins for Geth/Qtum/NXT):\n");
+        let sys_horizon = 1500;
+        let kinds = [
+            (ProtocolKind::Pow, 0x31u64),
+            (ProtocolKind::MlPos, 0x32),
+            (ProtocolKind::SlPos, 0x33),
+        ];
+        let system = ctx.pool.par_map(kinds.len(), |i| {
+            let (kind, salt) = kinds[i];
+            let config = ExperimentConfig::two_miner(kind, A_DEFAULT, W_DEFAULT, sys_horizon);
+            let trajectories = run_monte_carlo(
+                McConfig::new(opts.system_repetitions, opts.seed ^ salt),
+                |_i, rng| run_experiment(&config, rng).lambda_series,
+            );
+            let ec = EnsembleConfig {
+                initial_shares: two_miner(A_DEFAULT),
+                checkpoints: config.checkpoints.clone(),
+                repetitions: opts.system_repetitions,
+                seed: opts.seed ^ salt,
+                eps_delta: EpsilonDelta::default(),
+                withholding: None,
+            };
+            (kind, summarize(kind.name(), &ec, &trajectories))
+        });
+        for (kind, summary) in &system {
+            let name = format!(
+                "fig2_system_{}",
+                kind.name().to_lowercase().replace('-', "")
+            );
+            let path = write_csv(
+                &opts.results_dir,
+                &name,
+                &["n", "mean", "p05", "p95", "unfair"],
+                &band_rows(summary),
+            )?;
+            let last = summary.final_point();
+            let _ = writeln!(
+                out,
+                "{:8} n={}  mean={}  band=[{}, {}]  csv: {}",
+                kind.name(),
+                last.n,
+                fmt4(last.mean),
+                fmt4(last.p05),
+                fmt4(last.p95),
+                path.display()
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::tiny_harness;
+    use super::*;
+
+    #[test]
+    fn fig2_runs_small() {
+        let h = tiny_harness("fig2");
+        let out = fig2(&h.ctx()).expect("fig2");
+        assert!(out.contains("(a) PoW"));
+        assert!(out.contains("(d) C-PoS"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Figure 3: unfair probability vs `n` across initial shares.
+
+use super::common::{P_EFF, V_DEFAULT, W_DEFAULT};
+use super::ExperimentContext;
+use crate::report::{fmt4, fmt_convergence, write_csv, TextTable};
+use fairness_core::montecarlo::EnsembleSummary;
+use fairness_core::prelude::*;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::Arc;
+
+const A_VALUES: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
+const PANELS: [&str; 4] = ["(a) PoW", "(b) ML-PoS", "(c) SL-PoS", "(d) C-PoS"];
+
+fn panel_ensemble(
+    ctx: &ExperimentContext,
+    panel: usize,
+    a: f64,
+    checkpoints: &[u64],
+) -> Arc<EnsembleSummary> {
+    let shares = two_miner(a);
+    match panel {
+        0 => ctx.ensemble(&Pow::new(&shares, W_DEFAULT), &shares, checkpoints),
+        1 => ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, checkpoints),
+        2 => ctx.ensemble(&SlPos::new(W_DEFAULT), &shares, checkpoints),
+        _ => ctx.ensemble(
+            &CPos::new(W_DEFAULT, V_DEFAULT, P_EFF),
+            &shares,
+            checkpoints,
+        ),
+    }
+}
+
+/// Figure 3: unfair probability vs `n` for `a ∈ {0.1, 0.2, 0.3, 0.4}` under
+/// all four protocols (`w = 0.01`, `v = 0.1`). The `a = 0.2` column of
+/// every panel is Figure 2's ensemble, shared through the sweep cache.
+pub fn fig3(ctx: &ExperimentContext) -> io::Result<String> {
+    let opts = ctx.opts;
+    let horizon = 5000;
+    let checkpoints = linear_checkpoints(horizon, 25);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 3 — unfair probability vs n (ε=0.1, δ=0.1), {} repetitions",
+        opts.repetitions
+    );
+
+    // All 16 (panel, a) sweep points drain from the shared pool at once.
+    let all: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(PANELS.len() * A_VALUES.len(), |k| {
+        panel_ensemble(
+            ctx,
+            k / A_VALUES.len(),
+            A_VALUES[k % A_VALUES.len()],
+            &checkpoints,
+        )
+    });
+
+    for (pi, label) in PANELS.iter().enumerate() {
+        let summaries = &all[pi * A_VALUES.len()..(pi + 1) * A_VALUES.len()];
+        // CSV: one row per checkpoint, one unfair column per a.
+        let mut rows = Vec::new();
+        for (ci, &n) in checkpoints.iter().enumerate() {
+            let mut row = vec![n as f64];
+            for s in summaries {
+                row.push(s.points[ci].unfair_probability);
+            }
+            rows.push(row);
+        }
+        let proto = summaries[0].protocol.to_lowercase().replace('-', "");
+        let path = write_csv(
+            &opts.results_dir,
+            &format!("fig3_{proto}"),
+            &[
+                "n",
+                "unfair_a0.1",
+                "unfair_a0.2",
+                "unfair_a0.3",
+                "unfair_a0.4",
+            ],
+            &rows,
+        )?;
+        let _ = writeln!(out, "\n{label}  csv: {}", path.display());
+        let mut t = TextTable::new(vec![
+            "a",
+            "unfair@500",
+            "unfair@2000",
+            "unfair@5000",
+            "cvg time",
+        ]);
+        for (ai, s) in summaries.iter().enumerate() {
+            let at = |n: u64| {
+                s.points
+                    .iter()
+                    .find(|p| p.n >= n)
+                    .map_or(f64::NAN, |p| p.unfair_probability)
+            };
+            t.row(vec![
+                format!("{:.1}", A_VALUES[ai]),
+                fmt4(at(500)),
+                fmt4(at(2000)),
+                fmt4(at(5000)),
+                fmt_convergence(s.convergence_time(EpsilonDelta::default())),
+            ]);
+        }
+        out.push_str(&t.render());
+        if pi == 0 {
+            // Overlay the exact binomial theory for PoW.
+            let mut t = TextTable::new(vec![
+                "a",
+                "exact unfair@1000",
+                "exact unfair@5000",
+                "Thm 4.2 n",
+            ]);
+            for &a in &A_VALUES {
+                t.row(vec![
+                    format!("{a:.1}"),
+                    fmt4(theory::pow::exact_unfair_probability(1000, a, 0.1)),
+                    fmt4(theory::pow::exact_unfair_probability(5000, a, 0.1)),
+                    theory::pow::sufficient_n(a, EpsilonDelta::default()).to_string(),
+                ]);
+            }
+            out.push_str("theory overlay (binomial exact + Theorem 4.2 bound):\n");
+            out.push_str(&t.render());
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nsweep cache: {} ensembles held, {} hits so far this run",
+        ctx.cache.len(),
+        ctx.cache.hits()
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::tiny_harness;
+    use super::*;
+
+    #[test]
+    fn fig3_runs_small() {
+        let h = tiny_harness("fig3");
+        let out = fig3(&h.ctx()).expect("fig3");
+        assert!(out.contains("(a) PoW"));
+        assert!(out.contains("theory overlay"));
+        assert!(out.contains("(d) C-PoS"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Figure 4: SL-PoS mean reward proportion sweeps.
+
+use super::common::{A_DEFAULT, W_DEFAULT};
+use super::ExperimentContext;
+use crate::report::{fmt4, write_csv, TextTable};
+use fairness_core::montecarlo::EnsembleSummary;
+use fairness_core::prelude::*;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::Arc;
+
+const A_VALUES: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+const W_VALUES: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+
+/// Figure 4: SL-PoS mean reward proportion. (a) varying initial share
+/// `a ∈ {0.1..0.5}` at `w = 0.01`; (b) varying block reward
+/// `w ∈ {10⁻⁴..10⁻¹}` at `a = 0.2`. Horizon 10⁵ blocks, log-spaced
+/// checkpoints.
+pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
+    let opts = ctx.opts;
+    let horizon = 100_000;
+    let checkpoints = log_checkpoints(horizon, 4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 4 — SL-PoS mean λ_A, {} repetitions",
+        opts.repetitions
+    );
+
+    // Both sweeps drain from the shared pool at once: 5 share points, then
+    // 4 reward points. (a=0.2, w=0.01) appears in both and is cached.
+    let all: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(A_VALUES.len() + W_VALUES.len(), |k| {
+        if k < A_VALUES.len() {
+            let shares = two_miner(A_VALUES[k]);
+            ctx.ensemble(&SlPos::new(W_DEFAULT), &shares, &checkpoints)
+        } else {
+            let shares = two_miner(A_DEFAULT);
+            let w = W_VALUES[k - A_VALUES.len()];
+            ctx.ensemble(&SlPos::new(w), &shares, &checkpoints)
+        }
+    });
+    let (summaries_a, summaries_w) = all.split_at(A_VALUES.len());
+
+    // (a) share sweep.
+    let mut rows = Vec::new();
+    for (ci, &n) in checkpoints.iter().enumerate() {
+        let mut row = vec![n as f64];
+        for s in summaries_a {
+            row.push(s.points[ci].mean);
+        }
+        rows.push(row);
+    }
+    let path_a = write_csv(
+        &opts.results_dir,
+        "fig4a_slpos_mean_by_share",
+        &["n", "a0.1", "a0.2", "a0.3", "a0.4", "a0.5"],
+        &rows,
+    )?;
+    let _ = writeln!(
+        out,
+        "\n(a) mean λ_A by initial share (w=0.01)  csv: {}",
+        path_a.display()
+    );
+    let mut t = TextTable::new(vec!["a", "mean@100", "mean@10^4", "mean@10^5"]);
+    for (i, s) in summaries_a.iter().enumerate() {
+        let at = |n: u64| {
+            s.points
+                .iter()
+                .find(|p| p.n >= n)
+                .map_or(f64::NAN, |p| p.mean)
+        };
+        t.row(vec![
+            format!("{:.1}", A_VALUES[i]),
+            fmt4(at(100)),
+            fmt4(at(10_000)),
+            fmt4(at(100_000)),
+        ]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "paper: every a<0.5 decays toward 0; a=0.5 stays at 0.5."
+    );
+
+    // (b) reward sweep.
+    let mut rows = Vec::new();
+    for (ci, &n) in checkpoints.iter().enumerate() {
+        let mut row = vec![n as f64];
+        for s in summaries_w {
+            row.push(s.points[ci].mean);
+        }
+        rows.push(row);
+    }
+    let path_b = write_csv(
+        &opts.results_dir,
+        "fig4b_slpos_mean_by_reward",
+        &["n", "w1e-4", "w1e-3", "w1e-2", "w1e-1"],
+        &rows,
+    )?;
+    let _ = writeln!(
+        out,
+        "\n(b) mean λ_A by block reward (a=0.2)  csv: {}",
+        path_b.display()
+    );
+    let mut t = TextTable::new(vec!["w", "mean@100", "mean@10^4", "mean@10^5"]);
+    for (i, s) in summaries_w.iter().enumerate() {
+        let at = |n: u64| {
+            s.points
+                .iter()
+                .find(|p| p.n >= n)
+                .map_or(f64::NAN, |p| p.mean)
+        };
+        t.row(vec![
+            format!("{:.0e}", W_VALUES[i]),
+            fmt4(at(100)),
+            fmt4(at(10_000)),
+            fmt4(at(100_000)),
+        ]);
+    }
+    out.push_str(&t.render());
+    let _ = writeln!(
+        out,
+        "paper: smaller w decays slower; first-block win prob = a/(2b) = {}",
+        fmt4(theory::slpos::win_probability_two_miner(A_DEFAULT))
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::tiny_harness;
+    use super::*;
+
+    #[test]
+    fn fig4_share_and_reward_sweeps_share_the_default_point() {
+        let h = tiny_harness("fig4");
+        let out = fig4(&h.ctx()).expect("fig4");
+        assert!(out.contains("(a) mean λ_A by initial share"));
+        assert!(out.contains("(b) mean λ_A by block reward"));
+        // (a=0.2, w=0.01) appears in both sweeps — exactly one cache hit.
+        assert!(h.cache().hits() >= 1, "hits {}", h.cache().hits());
+    }
+}

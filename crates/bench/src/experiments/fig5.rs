@@ -1,0 +1,207 @@
+//! Figure 5: unfair-probability sweeps over rewards and inflation.
+
+use super::common::{A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
+use super::ExperimentContext;
+use crate::report::{fmt4, write_csv, TextTable};
+use fairness_core::montecarlo::EnsembleSummary;
+use fairness_core::prelude::*;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::Arc;
+
+const W_VALUES: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+const V_VALUES: [f64; 3] = [0.0, 0.01, 0.1];
+
+/// Figure 5: unfair probabilities under `a = 0.2` for (a) ML-PoS across `w`;
+/// (b) SL-PoS across `w`; (c) C-PoS across `w` at `v = 0.1`; (d) C-PoS
+/// across `v` at `w = 0.01`.
+///
+/// The shared sweep cache removes the overlap this figure used to
+/// recompute: panel (a)'s `w = 0.01` point is Figure 2(b)/Figure 3(b), and
+/// panels (c) and (d) meet at the paper-default C-PoS `(w, v) = (0.01,
+/// 0.1)`, which is also Figure 2(d)/Figure 3(d).
+pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
+    let opts = ctx.opts;
+    let shares = two_miner(A_DEFAULT);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 5 — unfair probabilities (a=0.2), {} repetitions",
+        opts.repetitions
+    );
+
+    let long_checkpoints = linear_checkpoints(5000, 25);
+    let short_checkpoints = linear_checkpoints(1000, 25);
+
+    // Flatten all 15 sweep points: 4 ML-PoS + 4 SL-PoS + 4 C-PoS(w) +
+    // 3 C-PoS(v), so independent points drain from the shared pool at once.
+    let all: Vec<Arc<EnsembleSummary>> =
+        ctx.pool.par_map(3 * W_VALUES.len() + V_VALUES.len(), |k| {
+            if k < W_VALUES.len() {
+                ctx.ensemble(&MlPos::new(W_VALUES[k]), &shares, &long_checkpoints)
+            } else if k < 2 * W_VALUES.len() {
+                let w = W_VALUES[k - W_VALUES.len()];
+                ctx.ensemble(&SlPos::new(w), &shares, &short_checkpoints)
+            } else if k < 3 * W_VALUES.len() {
+                let w = W_VALUES[k - 2 * W_VALUES.len()];
+                ctx.ensemble(&CPos::new(w, V_DEFAULT, P_EFF), &shares, &long_checkpoints)
+            } else {
+                let v = V_VALUES[k - 3 * W_VALUES.len()];
+                ctx.ensemble(&CPos::new(W_DEFAULT, v, P_EFF), &shares, &long_checkpoints)
+            }
+        });
+    let (ml, rest) = all.split_at(W_VALUES.len());
+    let (sl, rest) = rest.split_at(W_VALUES.len());
+    let (cpos_w, cpos_v) = rest.split_at(W_VALUES.len());
+
+    let unfair_rows = |summaries: &[Arc<EnsembleSummary>], checkpoints: &[u64]| {
+        let mut rows = Vec::new();
+        for (ci, &n) in checkpoints.iter().enumerate() {
+            let mut row = vec![n as f64];
+            for s in summaries {
+                row.push(s.points[ci].unfair_probability);
+            }
+            rows.push(row);
+        }
+        rows
+    };
+
+    // (a) ML-PoS w sweep, with the Beta-limit theory overlay.
+    {
+        let horizon = 5000;
+        let path = write_csv(
+            &opts.results_dir,
+            "fig5a_mlpos_unfair_by_reward",
+            &["n", "w1e-4", "w1e-3", "w1e-2", "w1e-1"],
+            &unfair_rows(ml, &long_checkpoints),
+        )?;
+        let _ = writeln!(out, "\n(a) ML-PoS by w  csv: {}", path.display());
+        let mut t = TextTable::new(vec![
+            "w",
+            "unfair@5000",
+            "Beta-limit unfair",
+            "Thm 4.3 satisfied",
+        ]);
+        for (i, s) in ml.iter().enumerate() {
+            let w = W_VALUES[i];
+            t.row(vec![
+                format!("{w:.0e}"),
+                fmt4(s.final_point().unfair_probability),
+                fmt4(theory::mlpos::limit_unfair_probability(A_DEFAULT, w, 0.1)),
+                format!(
+                    "{}",
+                    theory::mlpos::sufficient_condition(
+                        horizon,
+                        w,
+                        A_DEFAULT,
+                        EpsilonDelta::default()
+                    )
+                ),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    // (b) SL-PoS w sweep (insensitive to w; saturates fast).
+    {
+        let path = write_csv(
+            &opts.results_dir,
+            "fig5b_slpos_unfair_by_reward",
+            &["n", "w1e-4", "w1e-3", "w1e-2", "w1e-1"],
+            &unfair_rows(sl, &short_checkpoints),
+        )?;
+        let _ = writeln!(out, "\n(b) SL-PoS by w  csv: {}", path.display());
+        let mut t = TextTable::new(vec!["w", "unfair@40", "unfair@200", "unfair@1000"]);
+        for (i, s) in sl.iter().enumerate() {
+            let at = |n: u64| {
+                s.points
+                    .iter()
+                    .find(|p| p.n >= n)
+                    .map_or(f64::NAN, |p| p.unfair_probability)
+            };
+            t.row(vec![
+                format!("{:.0e}", W_VALUES[i]),
+                fmt4(at(40)),
+                fmt4(at(200)),
+                fmt4(at(1000)),
+            ]);
+        }
+        out.push_str(&t.render());
+        let _ = writeln!(
+            out,
+            "paper: ~95% initially, →100% after ~200 blocks for every w."
+        );
+    }
+
+    // (c) C-PoS w sweep at v = 0.1.
+    {
+        let path = write_csv(
+            &opts.results_dir,
+            "fig5c_cpos_unfair_by_reward",
+            &["n", "w1e-4", "w1e-3", "w1e-2", "w1e-1"],
+            &unfair_rows(cpos_w, &long_checkpoints),
+        )?;
+        let _ = writeln!(out, "\n(c) C-PoS by w (v=0.1)  csv: {}", path.display());
+        let mut t = TextTable::new(vec![
+            "w",
+            "unfair@5000 (C-PoS)",
+            "unfair@5000 (ML-PoS limit)",
+        ]);
+        for (i, s) in cpos_w.iter().enumerate() {
+            t.row(vec![
+                format!("{:.0e}", W_VALUES[i]),
+                fmt4(s.final_point().unfair_probability),
+                fmt4(theory::mlpos::limit_unfair_probability(
+                    A_DEFAULT,
+                    W_VALUES[i],
+                    0.1,
+                )),
+            ]);
+        }
+        out.push_str(&t.render());
+        let _ = writeln!(
+            out,
+            "paper: C-PoS outperforms ML-PoS significantly at every w."
+        );
+    }
+
+    // (d) C-PoS v sweep at w = 0.01.
+    {
+        let path = write_csv(
+            &opts.results_dir,
+            "fig5d_cpos_unfair_by_inflation",
+            &["n", "v0", "v0.01", "v0.1"],
+            &unfair_rows(cpos_v, &long_checkpoints),
+        )?;
+        let _ = writeln!(out, "\n(d) C-PoS by v (w=0.01)  csv: {}", path.display());
+        let mut t = TextTable::new(vec!["v", "unfair@5000", "paper reports"]);
+        let paper = ["~0.70", "~0.50", "~0.10"];
+        for (i, s) in cpos_v.iter().enumerate() {
+            t.row(vec![
+                format!("{}", V_VALUES[i]),
+                fmt4(s.final_point().unfair_probability),
+                paper[i].to_owned(),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::tiny_harness;
+    use super::*;
+
+    #[test]
+    fn fig5_runs_small() {
+        let h = tiny_harness("fig5");
+        let out = fig5(&h.ctx()).expect("fig5");
+        assert!(out.contains("(a) ML-PoS by w"));
+        assert!(out.contains("paper reports"));
+        // Panels (c) and (d) meet at (w, v) = (0.01, 0.1): the sweep cache
+        // must collapse them into one ensemble.
+        assert!(h.cache().hits() >= 1, "hits {}", h.cache().hits());
+        assert_eq!(h.cache().len() as u64, h.cache().misses());
+    }
+}

@@ -1,0 +1,232 @@
+//! Table 1: the multi-miner game.
+
+use super::common::{convergence_grid, A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
+use super::ExperimentContext;
+use crate::report::{fmt4, fmt_convergence, write_csv, TextTable};
+use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
+use fairness_core::prelude::*;
+use fairness_stats::mc::{run_monte_carlo, McConfig};
+use std::fmt::Write as _;
+use std::io;
+
+const PROTOCOLS: [&str; 4] = ["PoW", "ML-PoS", "SL-PoS", "C-PoS"];
+
+/// The miner counts swept for a given `--max-miners`: the paper's
+/// `{2, 3, 4, 5}`, then multiples of 5 up to the cap. The default cap of
+/// 10 reproduces the paper's `{2, 3, 4, 5, 10}` exactly; 20 extends it to
+/// `{2, 3, 4, 5, 10, 15, 20}` (the regime the paper's hardware budget cut
+/// off).
+///
+/// # Panics
+/// Panics if `max_miners < 2`.
+pub fn miner_counts(max_miners: usize) -> Vec<usize> {
+    assert!(max_miners >= 2, "need at least two miners");
+    let mut counts: Vec<usize> = (2..=max_miners.min(5)).collect();
+    let mut m = 10;
+    while m <= max_miners {
+        counts.push(m);
+        m += 5;
+    }
+    counts
+}
+
+struct Row {
+    protocol: &'static str,
+    m: usize,
+    mean: f64,
+    unfair: f64,
+    cvg: Option<u64>,
+}
+
+/// Table 1: the multi-miner game. Miner A holds 20%, the other `m − 1`
+/// miners split 80% equally, for `m ∈` [`miner_counts`]`(--max-miners)`.
+/// Reports the average of `λ_A`, the unfair probability, and the
+/// convergence time for all four protocols. With `--system`, a hash-level
+/// multi-miner network cross-checks the closed-form mean.
+pub fn table1(ctx: &ExperimentContext) -> io::Result<String> {
+    let opts = ctx.opts;
+    let counts = miner_counts(opts.max_miners);
+    let ed = EpsilonDelta::default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — multi-miner game (A holds 0.2; rest split 0.8; w=0.01, v=0.1), {} repetitions, m up to {}",
+        opts.repetitions, opts.max_miners
+    );
+
+    // All (miner count, protocol) cells are independent: drain them from
+    // the shared pool at once. Work-stealing absorbs the wildly uneven
+    // cell costs (SL-PoS runs to 10⁵ blocks, C-PoS only to 2·10³).
+    let rows: Vec<Row> = ctx.pool.par_map(counts.len() * PROTOCOLS.len(), |k| {
+        let m = counts[k / PROTOCOLS.len()];
+        let protocol = PROTOCOLS[k % PROTOCOLS.len()];
+        let shares = paper_multi_miner(m, A_DEFAULT);
+        let summary = match protocol {
+            // PoW: horizon past the ~1100-block convergence point.
+            "PoW" => ctx.ensemble(
+                &Pow::new(&shares, W_DEFAULT),
+                &shares,
+                &convergence_grid(3000),
+            ),
+            // ML-PoS: plateaus; horizon 5000.
+            "ML-PoS" => ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, &convergence_grid(5000)),
+            // SL-PoS: long horizon to expose monopolization (the m=10
+            // row's λ_A → 1 needs ~10⁵ blocks); repetitions capped since
+            // the means and unfair probabilities here only need two
+            // decimals.
+            "SL-PoS" => ctx.ensemble_with(
+                &SlPos::new(W_DEFAULT),
+                &shares,
+                &log_checkpoints(100_000, 4),
+                opts.repetitions.min(2000),
+                None,
+            ),
+            // C-PoS: converges quickly.
+            _ => ctx.ensemble(
+                &CPos::new(W_DEFAULT, V_DEFAULT, P_EFF),
+                &shares,
+                &convergence_grid(2000),
+            ),
+        };
+        Row {
+            protocol,
+            m,
+            mean: summary.final_point().mean,
+            unfair: summary.final_point().unfair_probability,
+            cvg: summary.convergence_time(ed),
+        }
+    });
+
+    for metric in ["Avg. of λ_A", "Unfair Prob.", "Cvg. Time"] {
+        let _ = writeln!(out, "\n{metric}:");
+        let mut t = TextTable::new(vec!["Miners", "PoW", "ML-PoS", "SL-PoS", "C-PoS"]);
+        for &m in &counts {
+            let get = |proto: &str| {
+                rows.iter()
+                    .find(|r| r.m == m && r.protocol == proto)
+                    .expect("row exists")
+            };
+            let cell = |proto: &str| match metric {
+                "Avg. of λ_A" => fmt4(get(proto).mean),
+                "Unfair Prob." => fmt4(get(proto).unfair),
+                _ => fmt_convergence(get(proto).cvg),
+            };
+            t.row(vec![
+                format!("{m} Miners"),
+                cell("PoW"),
+                cell("ML-PoS"),
+                cell("SL-PoS"),
+                cell("C-PoS"),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
+    let csv_rows: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.m as f64,
+                match r.protocol {
+                    "PoW" => 0.0,
+                    "ML-PoS" => 1.0,
+                    "SL-PoS" => 2.0,
+                    _ => 3.0,
+                },
+                r.mean,
+                r.unfair,
+                r.cvg.map_or(-1.0, |n| n as f64),
+            ]
+        })
+        .collect();
+    let path = write_csv(
+        &opts.results_dir,
+        "table1_multi_miner",
+        &[
+            "miners",
+            "protocol(0=pow,1=ml,2=sl,3=c)",
+            "mean_lambda",
+            "unfair",
+            "cvg_time(-1=never)",
+        ],
+        &csv_rows,
+    )?;
+    let _ = writeln!(out, "\ncsv: {}", path.display());
+    let _ = writeln!(
+        out,
+        "paper shapes: PoW/ML/C-PoS means stay 0.20; SL-PoS mean → 0 for m<5, 0.20 at m=5 (symmetry), →1 for m≥10 (A is largest);"
+    );
+    let _ = writeln!(
+        out,
+        "ML-PoS and SL-PoS never converge; PoW converges ~10³; C-PoS converges ~10²."
+    );
+
+    if opts.with_system {
+        // Hash-level cross-check of the multi-miner game: an ML-PoS
+        // network with A at 0.2 and the rest split equally must keep A's
+        // win fraction expectationally fair, matching the closed form.
+        let m_sys = *counts.iter().filter(|&&m| m <= 10).max().expect("≥2");
+        let shares = paper_multi_miner(m_sys, A_DEFAULT);
+        let horizon = 600;
+        let reps = opts.system_repetitions.clamp(1, 16);
+        let config =
+            ExperimentConfig::multi_miner(ProtocolKind::MlPos, &shares, W_DEFAULT, horizon);
+        let finals = run_monte_carlo(McConfig::new(reps, opts.seed ^ 0x1D0), |_i, rng| {
+            run_experiment(&config, rng).final_lambda
+        });
+        let sys_mean = finals.iter().sum::<f64>() / finals.len() as f64;
+        let closed = rows
+            .iter()
+            .find(|r| r.m == m_sys && r.protocol == "ML-PoS")
+            .expect("row exists");
+        let sys_rows = vec![vec![m_sys as f64, sys_mean, closed.mean]];
+        let sys_path = write_csv(
+            &opts.results_dir,
+            "table1_system_multiminer",
+            &["miners", "hash_level_mean", "closed_form_mean"],
+            &sys_rows,
+        )?;
+        let _ = writeln!(
+            out,
+            "\nhash-level multi-miner cross-check (ML-PoS, m={m_sys}, {reps} reps, {horizon} blocks):\n\
+             mean λ_A = {} (closed form: {})  csv: {}",
+            fmt4(sys_mean),
+            fmt4(closed.mean),
+            sys_path.display()
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::tiny_opts;
+    use super::super::Harness;
+    use super::*;
+
+    #[test]
+    fn table1_runs_small() {
+        let mut opts = tiny_opts("table1");
+        opts.repetitions = 40;
+        let h = Harness::new(opts);
+        let out = table1(&h.ctx()).expect("table1");
+        assert!(out.contains("Avg. of λ_A"));
+        assert!(out.contains("Cvg. Time"));
+        assert!(out.contains("10 Miners"));
+    }
+
+    #[test]
+    fn miner_counts_match_paper_and_extend() {
+        assert_eq!(miner_counts(10), vec![2, 3, 4, 5, 10]);
+        assert_eq!(miner_counts(20), vec![2, 3, 4, 5, 10, 15, 20]);
+        assert_eq!(miner_counts(4), vec![2, 3, 4]);
+        assert_eq!(miner_counts(12), vec![2, 3, 4, 5, 10]);
+        assert_eq!(miner_counts(2), vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn miner_counts_rejects_one() {
+        let _ = miner_counts(1);
+    }
+}

@@ -5,8 +5,15 @@
 //! Experiment harness regenerating **every figure and table** in the
 //! evaluation of *"Do the Rich Get Richer?"* (SIGMOD 2021), plus ablations.
 //!
-//! The `repro` binary drives [`experiments`]; each experiment prints the
-//! series/rows the paper reports and writes CSVs under `results/`.
+//! The `repro` binary resolves CLI targets against
+//! [`experiments::registry`] and hands the selection to
+//! [`schedule::run_schedule`], which runs independent experiments
+//! concurrently on a shared [`pool::JobPool`] (`--jobs N`). Each
+//! experiment prints the series/rows the paper reports and writes CSVs
+//! under `results/`; identical sweep configurations requested by
+//! different figures are computed once via the content-addressed
+//! [`experiments::SweepCache`], and every output is bit-identical
+//! regardless of `--jobs` or thread count.
 //!
 //! ## A note on C-PoS magnitudes (`P_EFF`)
 //!
@@ -21,10 +28,13 @@
 //! those curves. We therefore run the paper-matching figures with
 //! `P_eff = 1` (the shape and magnitudes match) and demonstrate the
 //! theorem's `P`-dependence separately in the shard ablation
-//! (`repro ablations`). EXPERIMENTS.md discusses the reconstruction.
+//! (`repro ablations`), which also re-anchors at the paper-default
+//! ensemble shared with Figures 2/3/5.
 
 pub mod experiments;
+pub mod pool;
 pub mod report;
+pub mod schedule;
 
 use std::path::PathBuf;
 
@@ -42,6 +52,12 @@ pub struct ReproOptions {
     pub results_dir: PathBuf,
     /// Whether to run the hash-level chain-sim overlays (slower).
     pub with_system: bool,
+    /// Shared worker budget (`--jobs`): experiments, sweep points and
+    /// Monte-Carlo repetitions all draw from it. `0` means one worker per
+    /// available core. Never affects results, only wall-clock time.
+    pub jobs: usize,
+    /// Largest miner count swept by Table 1 (`--max-miners`; paper: 10).
+    pub max_miners: usize,
 }
 
 impl Default for ReproOptions {
@@ -52,6 +68,8 @@ impl Default for ReproOptions {
             seed: 0x5168_3D02,
             results_dir: PathBuf::from("results"),
             with_system: true,
+            jobs: 0,
+            max_miners: 10,
         }
     }
 }

@@ -1,0 +1,358 @@
+//! Dependency-aware scheduling of experiments over the shared worker pool.
+//!
+//! The `repro` binary hands the scheduler a selection of registered
+//! experiments; the scheduler runs them on [`JobPool`] workers, honoring
+//! [`Experiment::dependencies`] *between selected experiments* (a
+//! dependency outside the selection is ignored — it is an ordering hint
+//! for cache reuse, not a data dependency). Results come back in selection
+//! order with per-experiment wall-clock timings, whatever the execution
+//! interleaving was.
+
+use crate::experiments::{Experiment, ExperimentContext};
+use crate::pool::JobPool;
+use std::io;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// The result of one scheduled experiment.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The experiment's registry name.
+    pub name: &'static str,
+    /// Wall-clock seconds spent inside the experiment.
+    pub seconds: f64,
+    /// The rendered report, or the I/O error that aborted it.
+    pub report: io::Result<String>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Pending,
+    Running,
+    Done,
+}
+
+struct SchedState {
+    status: Vec<Status>,
+    outcomes: Vec<Option<RunOutcome>>,
+}
+
+/// Unwind protection for a claimed experiment slot: until disarmed, drop
+/// marks the slot `Done` (outcome absent) and wakes every parked worker,
+/// so a panicking experiment cannot leave the scheduler deadlocked — the
+/// workers drain, the scope joins, and the panic propagates.
+struct ClaimGuard<'a> {
+    state: &'a Mutex<SchedState>,
+    ready: &'a Condvar,
+    index: usize,
+    armed: bool,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut guard) = self.state.lock() {
+                guard.status[self.index] = Status::Done;
+            }
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Runs `selected` experiments over the context's pool, returning outcomes
+/// in selection order.
+///
+/// Workers claim the first pending experiment whose selected dependencies
+/// have finished; with spare budget, independent experiments run
+/// concurrently. The calling thread participates, so a `--jobs 1` run is
+/// plain serial execution in selection order.
+///
+/// # Panics
+/// Panics if `selected` contains a dependency cycle among its entries
+/// (the registry's unit tests rule this out for built-in experiments), or
+/// if an experiment panics.
+#[must_use]
+pub fn run_schedule<'a>(
+    selected: &[&'static dyn Experiment],
+    ctx: &ExperimentContext<'a>,
+) -> Vec<RunOutcome> {
+    let n = selected.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Dependency edges among *selected* experiments only.
+    let deps: Vec<Vec<usize>> = selected
+        .iter()
+        .map(|e| {
+            e.dependencies()
+                .iter()
+                .filter_map(|d| selected.iter().position(|s| s.name() == *d))
+                .collect()
+        })
+        .collect();
+
+    let state = Mutex::new(SchedState {
+        status: vec![Status::Pending; n],
+        outcomes: (0..n).map(|_| None).collect(),
+    });
+    let ready = Condvar::new();
+
+    let worker = |mut permit: Option<crate::pool::Permit<'a>>| {
+        let is_helper = permit.is_some();
+        loop {
+            let claimed = {
+                let mut guard = state.lock().expect("scheduler lock");
+                loop {
+                    if guard.status.iter().all(|&s| s != Status::Pending) {
+                        break None;
+                    }
+                    let next = (0..n).find(|&i| {
+                        guard.status[i] == Status::Pending
+                            && deps[i].iter().all(|&d| guard.status[d] == Status::Done)
+                    });
+                    match next {
+                        Some(i) => {
+                            guard.status[i] = Status::Running;
+                            break Some(i);
+                        }
+                        None => {
+                            assert!(
+                                guard.status.contains(&Status::Running),
+                                "dependency cycle among selected experiments"
+                            );
+                            // Release the budget while parked: a worker
+                            // blocked on a dependency must not starve the
+                            // running experiments' inner sweeps of helpers.
+                            permit = None;
+                            guard = ready.wait(guard).expect("scheduler lock");
+                        }
+                    }
+                }
+            };
+            let Some(i) = claimed else { break };
+            // Best-effort re-acquire after a dependency wait; run either way
+            // (the transient over-budget is bounded by the helper count, and
+            // the claimed experiment would otherwise sit idle).
+            if is_helper && permit.is_none() {
+                permit = ctx.pool.try_acquire_permit();
+            }
+            // Until disarmed, the guard marks this slot Done and wakes every
+            // parked worker even if `run` panics — otherwise a panicking
+            // experiment would leave its dependents' workers parked forever
+            // and the panic could never propagate through the scope join.
+            let mut claim = ClaimGuard {
+                state: &state,
+                ready: &ready,
+                index: i,
+                armed: true,
+            };
+            let started = Instant::now();
+            let report = selected[i].run(ctx);
+            let outcome = RunOutcome {
+                name: selected[i].name(),
+                seconds: started.elapsed().as_secs_f64(),
+                report,
+            };
+            let mut guard = state.lock().expect("scheduler lock");
+            guard.status[i] = Status::Done;
+            guard.outcomes[i] = Some(outcome);
+            drop(guard);
+            claim.armed = false;
+            ready.notify_all();
+        }
+    };
+
+    // The caller participates (permit-less, so it always proceeds);
+    // helpers join only while budget is free (same nesting-safe pattern
+    // as JobPool::par_map).
+    ctx.pool.with_helpers(n.saturating_sub(1), &worker);
+
+    state
+        .into_inner()
+        .expect("scheduler lock")
+        .outcomes
+        .into_iter()
+        .map(|o| o.expect("all experiments completed"))
+        .collect()
+}
+
+/// Renders a `BENCH_repro.json` timing document: one record per
+/// experiment, schema `{target, seconds, reps}`.
+#[must_use]
+pub fn timings_json(outcomes: &[RunOutcome], reps: usize) -> String {
+    let mut body = String::from("[\n");
+    for (i, o) in outcomes.iter().enumerate() {
+        body.push_str(&format!(
+            "  {{\"target\": \"{}\", \"seconds\": {:.3}, \"reps\": {}}}{}\n",
+            o.name,
+            o.seconds,
+            reps,
+            if i + 1 < outcomes.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("]\n");
+    body
+}
+
+impl JobPool {
+    /// Runs `worker` on the calling thread (handed `None` — the caller is
+    /// the budget's implicit first worker) plus up to `max_helpers` helper
+    /// threads, each handed the permit it was acquired with. Permits are
+    /// acquired non-blockingly, so a saturated budget degrades to the
+    /// caller working alone.
+    pub(crate) fn with_helpers<'p, F>(&'p self, max_helpers: usize, worker: &F)
+    where
+        F: Fn(Option<crate::pool::Permit<'p>>) + Sync,
+    {
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..self.jobs().saturating_sub(1).min(max_helpers) {
+                let Some(permit) = self.try_acquire_permit() else {
+                    break;
+                };
+                handles.push(scope.spawn(move || worker(Some(permit))));
+            }
+            worker(None);
+            for h in handles {
+                h.join().expect("scheduler worker panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{registry, ExperimentContext, Harness};
+    use crate::ReproOptions;
+    use std::io;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex as StdMutex;
+
+    static ORDER: StdMutex<Vec<&'static str>> = StdMutex::new(Vec::new());
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    struct Fake {
+        name: &'static str,
+        deps: &'static [&'static str],
+    }
+
+    impl Experiment for Fake {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn description(&self) -> &'static str {
+            "fake"
+        }
+
+        fn dependencies(&self) -> &'static [&'static str] {
+            self.deps
+        }
+
+        fn run(&self, _ctx: &ExperimentContext) -> io::Result<String> {
+            ORDER.lock().expect("order lock").push(self.name);
+            COUNTER.fetch_add(1, Ordering::SeqCst);
+            Ok(format!("ran {}", self.name))
+        }
+    }
+
+    fn harness(jobs: usize) -> Harness {
+        Harness::new(ReproOptions {
+            repetitions: 10,
+            jobs,
+            results_dir: std::env::temp_dir().join("fairness-bench-sched"),
+            ..ReproOptions::default()
+        })
+    }
+
+    #[test]
+    fn respects_dependencies_and_selection_order() {
+        static LEAF_A: Fake = Fake {
+            name: "leaf_a",
+            deps: &[],
+        };
+        static MID: Fake = Fake {
+            name: "mid",
+            deps: &["leaf_a"],
+        };
+        static LAST: Fake = Fake {
+            name: "last",
+            deps: &["mid", "leaf_a"],
+        };
+        let selected: Vec<&'static dyn Experiment> = vec![&LAST, &MID, &LEAF_A];
+        ORDER.lock().expect("order lock").clear();
+        let h = harness(4);
+        let outcomes = run_schedule(&selected, &h.ctx());
+        // Outcomes come back in selection order…
+        assert_eq!(
+            outcomes.iter().map(|o| o.name).collect::<Vec<_>>(),
+            vec!["last", "mid", "leaf_a"]
+        );
+        assert!(outcomes.iter().all(|o| o.report.is_ok()));
+        assert!(outcomes.iter().all(|o| o.seconds >= 0.0));
+        // …but execution respected the dependency edges.
+        let order = ORDER.lock().expect("order lock").clone();
+        let pos = |n: &str| order.iter().position(|&x| x == n).expect("ran");
+        assert!(pos("leaf_a") < pos("mid"));
+        assert!(pos("mid") < pos("last"));
+    }
+
+    #[test]
+    fn unselected_dependencies_are_ignored() {
+        static ONLY: Fake = Fake {
+            name: "only",
+            deps: &["not_selected"],
+        };
+        let selected: Vec<&'static dyn Experiment> = vec![&ONLY];
+        let h = harness(1);
+        let outcomes = run_schedule(&selected, &h.ctx());
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].report.is_ok());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let h = harness(2);
+        assert!(run_schedule(&[], &h.ctx()).is_empty());
+    }
+
+    #[test]
+    fn registry_selection_schedules_fig1() {
+        // End-to-end: schedule a real (cheap) experiment through the pool.
+        let h = harness(2);
+        let selected: Vec<&'static dyn Experiment> = registry()
+            .iter()
+            .copied()
+            .filter(|e| e.name() == "fig1")
+            .collect();
+        let outcomes = run_schedule(&selected, &h.ctx());
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0]
+            .report
+            .as_ref()
+            .expect("fig1")
+            .contains("Figure 1"));
+    }
+
+    #[test]
+    fn timings_json_schema() {
+        let outcomes = vec![
+            RunOutcome {
+                name: "fig1",
+                seconds: 0.1234,
+                report: Ok(String::new()),
+            },
+            RunOutcome {
+                name: "table1",
+                seconds: 2.0,
+                report: Ok(String::new()),
+            },
+        ];
+        let json = timings_json(&outcomes, 1000);
+        assert!(json.contains("{\"target\": \"fig1\", \"seconds\": 0.123, \"reps\": 1000},"));
+        assert!(json.contains("{\"target\": \"table1\", \"seconds\": 2.000, \"reps\": 1000}\n"));
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Golden-file determinism: every figure module must emit byte-identical
+//! CSVs for the same seed at any `--jobs` level, and the sweep cache must
+//! collapse the ensembles the figures share.
+
+use fairness_bench::experiments::{registry, Harness};
+use fairness_bench::schedule::run_schedule;
+use fairness_bench::ReproOptions;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn opts(dir: &Path, jobs: usize) -> ReproOptions {
+    ReproOptions {
+        repetitions: 40,
+        system_repetitions: 3,
+        seed: 2026,
+        results_dir: dir.to_path_buf(),
+        with_system: false,
+        jobs,
+        max_miners: 10,
+    }
+}
+
+/// Reads every CSV in `dir` into `name -> bytes`.
+fn csv_snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("results dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "csv") {
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            out.insert(name, std::fs::read(&path).expect("read csv"));
+        }
+    }
+    out
+}
+
+fn run_all(dir: &Path, jobs: usize) -> Harness {
+    let _ = std::fs::remove_dir_all(dir);
+    let harness = Harness::new(opts(dir, jobs));
+    let outcomes = run_schedule(registry(), &harness.ctx());
+    for o in &outcomes {
+        assert!(o.report.is_ok(), "{} failed: {:?}", o.name, o.report);
+    }
+    harness
+}
+
+#[test]
+fn csv_outputs_identical_for_any_jobs_level() {
+    let base = std::env::temp_dir().join("fairness-bench-determinism");
+    let dir1 = base.join("jobs1");
+    let dir4 = base.join("jobs4");
+
+    run_all(&dir1, 1);
+    run_all(&dir4, 4);
+
+    let snap1 = csv_snapshot(&dir1);
+    let snap4 = csv_snapshot(&dir4);
+    assert!(!snap1.is_empty(), "no CSVs written");
+    assert_eq!(
+        snap1.keys().collect::<Vec<_>>(),
+        snap4.keys().collect::<Vec<_>>(),
+        "figure modules wrote different file sets"
+    );
+    for (name, bytes) in &snap1 {
+        assert_eq!(
+            bytes, &snap4[name],
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sweep_cache_shares_fig2_fig3_fig5_ensembles() {
+    let dir = std::env::temp_dir().join("fairness-bench-cache-hits");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Serial pool: hit/miss counts are deterministic only without racing
+    // misses.
+    let harness = Harness::new(opts(&dir, 1));
+    let ctx = harness.ctx();
+
+    let fig2 = registry().iter().copied().find(|e| e.name() == "fig2");
+    let fig3 = registry().iter().copied().find(|e| e.name() == "fig3");
+    let fig5 = registry().iter().copied().find(|e| e.name() == "fig5");
+    let selection: Vec<_> = [fig2, fig3, fig5].into_iter().flatten().collect();
+    assert_eq!(selection.len(), 3);
+
+    let outcomes = run_schedule(&selection, &ctx);
+    for o in &outcomes {
+        assert!(o.report.is_ok(), "{} failed", o.name);
+    }
+
+    // fig2's four a=0.2 panels are fig3's a=0.2 columns (4 hits); fig5(a)
+    // reuses ML-PoS w=0.01, fig5(c) reuses C-PoS w=0.01, and fig5(c)/(d)
+    // meet at (w, v) = (0.01, 0.1) (3 more hits).
+    assert!(
+        harness.cache().hits() >= 7,
+        "expected ≥7 shared ensembles, got {} hits / {} misses",
+        harness.cache().hits(),
+        harness.cache().misses()
+    );
+    // Every distinct configuration ran exactly once.
+    assert_eq!(harness.cache().len() as u64, harness.cache().misses());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn subset_runs_match_full_runs_bytewise() {
+    // Content-derived seeds mean an experiment's CSVs cannot depend on
+    // which other experiments ran in the same process.
+    let base = std::env::temp_dir().join("fairness-bench-subset");
+    let solo_dir = base.join("solo");
+    let full_dir = base.join("full");
+
+    let _ = std::fs::remove_dir_all(&base);
+    let solo = Harness::new(opts(&solo_dir, 2));
+    let fig3 = registry()
+        .iter()
+        .copied()
+        .find(|e| e.name() == "fig3")
+        .expect("fig3 registered");
+    for o in run_schedule(&[fig3], &solo.ctx()) {
+        assert!(o.report.is_ok());
+    }
+
+    run_all(&full_dir, 2);
+
+    let solo_snap = csv_snapshot(&solo_dir);
+    let full_snap = csv_snapshot(&full_dir);
+    assert!(!solo_snap.is_empty());
+    for (name, bytes) in &solo_snap {
+        assert_eq!(
+            bytes, &full_snap[name],
+            "{name} differs between solo fig3 and full run"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

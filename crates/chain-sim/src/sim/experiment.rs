@@ -90,6 +90,59 @@ impl ExperimentConfig {
             checkpoints: default_checkpoints(horizon),
         }
     }
+
+    /// N-miner configuration (Table 1's multi-miner game at the hash
+    /// level): miner `i` holds fraction `shares[i]` of the stake and of the
+    /// hash power, index 0 being the tracked miner A. Stake atoms sum
+    /// exactly to the same 1,000,000-atom circulation as
+    /// [`two_miner`](Self::two_miner); the reward per block is `w_fraction`
+    /// of it.
+    ///
+    /// # Panics
+    /// Panics unless `shares` has at least two entries, every share is in
+    /// `(0, 1)`, and the shares sum to 1 (within 1e-9).
+    #[must_use]
+    pub fn multi_miner(
+        protocol: ProtocolKind,
+        shares: &[f64],
+        w_fraction: f64,
+        horizon: u64,
+    ) -> Self {
+        assert!(shares.len() >= 2, "need at least two miners");
+        assert!(
+            shares.iter().all(|&s| s > 0.0 && s < 1.0),
+            "each share must be in (0,1), got {shares:?}"
+        );
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "shares must sum to 1, got {sum}");
+        let total: u64 = 1_000_000;
+        // Round every stake but give the last miner the exact remainder so
+        // the circulation is conserved atom-for-atom.
+        let mut stakes: Vec<u64> = shares[..shares.len() - 1]
+            .iter()
+            .map(|&s| ((s * total as f64).round() as u64).max(1))
+            .collect();
+        let assigned: u64 = stakes.iter().sum();
+        assert!(assigned < total, "shares leave no stake for the last miner");
+        stakes.push(total - assigned);
+        // Hash rates at scale 100 represent percent-resolution shares
+        // exactly while keeping the nonce-grinding loop affordable.
+        let rates: Vec<u64> = shares
+            .iter()
+            .map(|&s| ((s * 100.0).round() as u64).max(1))
+            .collect();
+        let reward = (w_fraction * total as f64).round() as u64;
+        Self {
+            protocol,
+            initial_stakes: stakes,
+            hash_rates: rates,
+            block_reward: reward.max(1),
+            attester_reward: (10.0 * w_fraction * total as f64).round() as u64,
+            shards: 32,
+            horizon,
+            checkpoints: default_checkpoints(horizon),
+        }
+    }
 }
 
 /// Ten roughly log-spaced checkpoints up to `horizon`.
@@ -281,6 +334,52 @@ mod tests {
             "{}",
             out.final_lambda
         );
+    }
+
+    #[test]
+    fn multi_miner_conserves_circulation() {
+        // Table 1's setup: A holds 0.2, four others split 0.8.
+        let shares = vec![0.2, 0.2, 0.2, 0.2, 0.2];
+        let config = ExperimentConfig::multi_miner(ProtocolKind::MlPos, &shares, 0.01, 80);
+        assert_eq!(config.initial_stakes.len(), 5);
+        assert_eq!(config.initial_stakes.iter().sum::<u64>(), 1_000_000);
+        assert_eq!(config.hash_rates, vec![20, 20, 20, 20, 20]);
+        let mut rng = Xoshiro256StarStar::new(6);
+        let out = run_experiment(&config, &mut rng);
+        assert_eq!(
+            out.final_stakes.iter().sum::<u64>(),
+            1_000_000 + 80 * 10_000
+        );
+    }
+
+    #[test]
+    fn multi_miner_matches_two_miner_stakes() {
+        let two = ExperimentConfig::two_miner(ProtocolKind::SlPos, 0.2, 0.01, 100);
+        let multi = ExperimentConfig::multi_miner(ProtocolKind::SlPos, &[0.2, 0.8], 0.01, 100);
+        assert_eq!(two.initial_stakes, multi.initial_stakes);
+        assert_eq!(two.block_reward, multi.block_reward);
+        assert_eq!(two.checkpoints, multi.checkpoints);
+    }
+
+    #[test]
+    fn multi_miner_uneven_shares_round_trip() {
+        // 10 miners: A 0.2, nine others 0.8/9 each (not an exact binary
+        // fraction — the remainder lands on the last miner).
+        let mut shares = vec![0.2];
+        shares.extend(std::iter::repeat_n(0.8 / 9.0, 9));
+        let config = ExperimentConfig::multi_miner(ProtocolKind::Pow, &shares, 0.01, 30);
+        assert_eq!(config.initial_stakes.len(), 10);
+        assert_eq!(config.initial_stakes.iter().sum::<u64>(), 1_000_000);
+        let mut rng = Xoshiro256StarStar::new(7);
+        let out = run_experiment(&config, &mut rng);
+        assert_eq!(out.final_stakes.len(), 10);
+        assert!((0.0..=1.0).contains(&out.final_lambda));
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn multi_miner_rejects_bad_shares() {
+        let _ = ExperimentConfig::multi_miner(ProtocolKind::Pow, &[0.2, 0.2], 0.01, 10);
     }
 
     #[test]

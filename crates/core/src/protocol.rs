@@ -52,6 +52,13 @@ pub trait IncentiveProtocol: Send + Sync {
         true
     }
 
+    /// Stable parameter fingerprint: together with [`name`](Self::name) and
+    /// [`rewards_compound`](Self::rewards_compound) it must uniquely
+    /// determine the step distribution, so two protocol values with equal
+    /// fingerprints are interchangeable. Memoizing sweep harnesses key
+    /// their caches (and derive ensemble seeds) from it.
+    fn params(&self) -> Vec<f64>;
+
     /// Draws one step's allocation given the current staking powers
     /// (`stakes` need not be normalized; protocols use relative weights).
     fn step(&self, stakes: &[f64], step_index: u64, rng: &mut Xoshiro256StarStar) -> StepRewards;

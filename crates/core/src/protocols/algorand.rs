@@ -37,6 +37,10 @@ impl IncentiveProtocol for Algorand {
         self.inflation
     }
 
+    fn params(&self) -> Vec<f64> {
+        vec![self.inflation]
+    }
+
     fn step(&self, stakes: &[f64], _step: u64, _rng: &mut Xoshiro256StarStar) -> StepRewards {
         let total = total_stake(stakes);
         StepRewards::Split(stakes.iter().map(|&s| self.inflation * s / total).collect())

@@ -78,6 +78,14 @@ impl IncentiveProtocol for CPos {
         self.proposer_reward + self.inflation_reward
     }
 
+    fn params(&self) -> Vec<f64> {
+        vec![
+            self.proposer_reward,
+            self.inflation_reward,
+            f64::from(self.shards),
+        ]
+    }
+
     fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let total = total_stake(stakes);
         let m = stakes.len();

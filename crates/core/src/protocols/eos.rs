@@ -48,6 +48,10 @@ impl IncentiveProtocol for Eos {
         self.proposer_reward + self.inflation_reward
     }
 
+    fn params(&self) -> Vec<f64> {
+        vec![self.proposer_reward, self.inflation_reward]
+    }
+
     fn step(&self, stakes: &[f64], _step: u64, _rng: &mut Xoshiro256StarStar) -> StepRewards {
         let total = total_stake(stakes);
         let m = stakes.len() as f64;

@@ -41,6 +41,10 @@ impl IncentiveProtocol for MlPos {
         self.reward
     }
 
+    fn params(&self) -> Vec<f64> {
+        vec![self.reward]
+    }
+
     fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let _ = total_stake(stakes);
         StepRewards::Winner(sample_categorical(stakes, rng))

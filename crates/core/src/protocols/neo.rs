@@ -43,6 +43,12 @@ impl IncentiveProtocol for Neo {
         self.reward
     }
 
+    fn params(&self) -> Vec<f64> {
+        let mut p = vec![self.reward];
+        p.extend_from_slice(&self.shares);
+        p
+    }
+
     fn rewards_compound(&self) -> bool {
         // Gas rewards never become staking power.
         false

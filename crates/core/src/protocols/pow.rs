@@ -51,6 +51,12 @@ impl IncentiveProtocol for Pow {
         self.reward
     }
 
+    fn params(&self) -> Vec<f64> {
+        let mut p = vec![self.reward];
+        p.extend_from_slice(&self.shares);
+        p
+    }
+
     fn rewards_compound(&self) -> bool {
         // Stakes earned do not add hash power.
         false

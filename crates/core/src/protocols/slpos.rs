@@ -59,6 +59,10 @@ impl IncentiveProtocol for SlPos {
         self.reward
     }
 
+    fn params(&self) -> Vec<f64> {
+        vec![self.reward]
+    }
+
     fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let _ = total_stake(stakes);
         StepRewards::Winner(Self::sample_winner(stakes, rng))

@@ -17,7 +17,19 @@
 //!   pool.
 
 use crate::protocol::{IncentiveProtocol, StepRewards};
+use fairness_stats::cache::StableHasher;
 use fairness_stats::rng::Xoshiro256StarStar;
+
+/// Folds the wrapped protocol's *name* into an adapter's parameter
+/// fingerprint. Adapters report their own `name()`, so without this two
+/// different inner protocols with equal numeric parameters (say
+/// `CashOut<MlPos>` and `CashOut<SlPos>` at the same `w`) would be
+/// indistinguishable to memoizing harnesses.
+fn protocol_tag<P: IncentiveProtocol>(inner: &P) -> f64 {
+    let mut h = StableHasher::new();
+    h.write_str(inner.name());
+    f64::from_bits(h.finish())
+}
 
 /// Wraps a protocol so that a designated miner's rewards never compound
 /// into staking power (she withdraws them each step). Income accounting is
@@ -65,6 +77,14 @@ impl<P: IncentiveProtocol> IncentiveProtocol for CashOut<P> {
 
     fn rewards_compound(&self) -> bool {
         self.inner.rewards_compound()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut p = vec![protocol_tag(&self.inner)];
+        p.extend(self.inner.params());
+        p.push(self.miner as f64);
+        p.push(self.frozen_stake);
+        p
     }
 
     fn step(&self, stakes: &[f64], step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
@@ -128,6 +148,13 @@ impl<P: IncentiveProtocol> IncentiveProtocol for MiningPool<P> {
         self.inner.rewards_compound()
     }
 
+    fn params(&self) -> Vec<f64> {
+        let mut p = vec![protocol_tag(&self.inner)];
+        p.extend(self.inner.params());
+        p.extend(self.members.iter().map(|&i| i as f64));
+        p
+    }
+
     fn step(&self, stakes: &[f64], step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let m = stakes.len();
         // Build the aggregated stake vector: non-members keep their slots,
@@ -185,6 +212,21 @@ mod tests {
     use crate::miner::two_miner;
     use crate::montecarlo::{run_ensemble, EnsembleConfig};
     use crate::protocols::{MlPos, Pow, SlPos};
+
+    #[test]
+    fn adapter_params_distinguish_inner_protocols() {
+        // Same numeric parameters, different inner protocols: the
+        // fingerprints must differ or memoizing harnesses would conflate
+        // them.
+        let a = CashOut::new(MlPos::new(0.01), 0, 0.2).params();
+        let b = CashOut::new(SlPos::new(0.01), 0, 0.2).params();
+        assert_ne!(a, b);
+        let c = MiningPool::new(MlPos::new(0.01), vec![0, 1]).params();
+        let d = MiningPool::new(SlPos::new(0.01), vec![0, 1]).params();
+        assert_ne!(c, d);
+        // Deterministic across calls.
+        assert_eq!(a, CashOut::new(MlPos::new(0.01), 0, 0.2).params());
+    }
 
     #[test]
     fn cash_out_miner_income_decays_under_mlpos() {

@@ -1,0 +1,276 @@
+//! Memoization primitives for sweep harnesses.
+//!
+//! Figure-scale reproductions sweep overlapping parameter grids: Figure 2's
+//! `a = 0.2` panels are Figure 3's `a = 0.2` columns, Figure 5(c)'s
+//! `w = 0.01` point is Figure 5(d)'s `v = 0.1` point, and so on. A
+//! [`MemoCache`] keyed by the *semantic content* of a computation lets the
+//! harness run each distinct ensemble exactly once per process, regardless
+//! of how many figures request it or in which order.
+//!
+//! [`StableHasher`] complements the cache: a tiny FNV-1a hasher whose
+//! output is fixed by this crate (not by `std`'s unstable `DefaultHasher`),
+//! so content-derived seeds stay reproducible across runs, platforms and
+//! toolchains.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A thread-safe memoization cache with hit/miss accounting.
+///
+/// `get_or_insert_with` computes **outside** the lock, so a long-running
+/// computation never blocks unrelated keys. If two threads race on the same
+/// missing key both compute, but only the first insert wins and the values
+/// are identical by the determinism contract (the closure must be a pure
+/// function of the key) — results never depend on scheduling.
+#[derive(Debug)]
+pub struct MemoCache<K, V> {
+    map: Mutex<HashMap<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for MemoCache<K, V> {
+    fn default() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> MemoCache<K, V> {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it via
+    /// `compute` on a miss.
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned (a previous `compute`
+    /// panicked while inserting).
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: &K, compute: F) -> V {
+        if let Some(v) = self.map.lock().expect("cache lock").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut map = self.map.lock().expect("cache lock");
+        // Keep the first insert on a race so every reader observes one value.
+        map.entry(key.clone()).or_insert_with(|| value).clone()
+    }
+
+    /// Returns the cached value for `key` without computing.
+    ///
+    /// Does not count toward hit/miss statistics.
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.map.lock().expect("cache lock").get(key).cloned()
+    }
+
+    /// Number of lookups answered from the cache.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cached entries.
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache holds no entries.
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the hit/miss counters.
+    ///
+    /// # Panics
+    /// Panics if the internal lock is poisoned.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// A stable (run-to-run, platform-to-platform) 64-bit FNV-1a hasher.
+///
+/// Unlike `std::hash::DefaultHasher`, whose algorithm is explicitly *not*
+/// guaranteed across releases, this hasher is part of this crate's contract:
+/// the same write sequence always produces the same digest. Content-derived
+/// Monte-Carlo seeds depend on that.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs an `f64` by bit pattern, canonicalizing `-0.0` to `0.0` so
+    /// numerically identical configurations hash identically.
+    pub fn write_f64(&mut self, v: f64) {
+        let v = if v == 0.0 { 0.0 } else { v };
+        self.write_u64(v.to_bits());
+    }
+
+    /// Absorbs a string (length-prefixed, so `"ab","c"` ≠ `"a","bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Returns the digest; further writes continue from this state.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        // One SplitMix-style finalization round: FNV's raw state has weak
+        // high bits, and these digests seed RNGs.
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn miss_then_hit() {
+        let cache: MemoCache<u32, String> = MemoCache::new();
+        let calls = AtomicUsize::new(0);
+        let compute = || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            "value".to_owned()
+        };
+        assert_eq!(cache.get_or_insert_with(&1, compute), "value");
+        assert_eq!(cache.get_or_insert_with(&1, compute), "value");
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_entries() {
+        let cache: MemoCache<(u32, u32), u32> = MemoCache::new();
+        for i in 0..10 {
+            assert_eq!(cache.get_or_insert_with(&(i, i), || i * 2), i * 2);
+        }
+        assert_eq!(cache.len(), 10);
+        assert_eq!(cache.misses(), 10);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn peek_and_clear() {
+        let cache: MemoCache<u8, u8> = MemoCache::new();
+        assert_eq!(cache.peek(&1), None);
+        let _ = cache.get_or_insert_with(&1, || 9);
+        assert_eq!(cache.peek(&1), Some(9));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_converge_to_one_value() {
+        let cache: MemoCache<u32, u64> = MemoCache::new();
+        let got: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.get_or_insert_with(&7, || 7 * 3)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(got.iter().all(|&v| v == 21));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hits() + cache.misses(), 8);
+    }
+
+    #[test]
+    fn stable_hasher_reference_digest() {
+        // Pin the digest so accidental algorithm changes (which would
+        // silently reseed every cached ensemble) fail loudly.
+        let mut h = StableHasher::new();
+        h.write_str("ML-PoS");
+        h.write_f64(0.01);
+        h.write_u64(5000);
+        assert_eq!(h.finish(), 0x0CFD_A825_E28C_3DF9);
+    }
+
+    #[test]
+    fn stable_hasher_distinguishes_and_canonicalizes() {
+        let digest = |f: &dyn Fn(&mut StableHasher)| {
+            let mut h = StableHasher::new();
+            f(&mut h);
+            h.finish()
+        };
+        assert_ne!(
+            digest(&|h| h.write_str("ab")),
+            digest(&|h| {
+                h.write_str("a");
+                h.write_str("b");
+            })
+        );
+        assert_ne!(digest(&|h| h.write_f64(0.1)), digest(&|h| h.write_f64(0.2)));
+        assert_eq!(
+            digest(&|h| h.write_f64(0.0)),
+            digest(&|h| h.write_f64(-0.0))
+        );
+    }
+}

@@ -22,8 +22,12 @@
 //! * a stochastic-approximation toolkit implementing Definition 4.4 and
 //!   Lemmas 4.5–4.8 of the paper, used for the SL-PoS monopolization proof
 //!   ([`sa`]);
-//! * a deterministic parallel Monte-Carlo executor ([`mc`]).
+//! * a deterministic parallel Monte-Carlo executor with an atomic-index
+//!   work-stealing scheduler ([`mc`]);
+//! * memoization primitives for sweep harnesses — a thread-safe keyed cache
+//!   and a stable hasher for content-derived seeds ([`cache`]).
 
+pub mod cache;
 pub mod ci;
 pub mod concentration;
 pub mod dist;
@@ -35,6 +39,7 @@ pub mod sa;
 pub mod special;
 pub mod summary;
 
+pub use cache::{MemoCache, StableHasher};
 pub use ci::{mean_interval, wilson_interval, ConfidenceInterval};
 pub use concentration::{azuma_tail, azuma_tail_ranges, hoeffding_sufficient_n, hoeffding_tail};
 pub use dist::{
@@ -43,7 +48,7 @@ pub use dist::{
     DiscreteDistribution, Exponential, Gamma, Geometric, Multinomial, Normal, Poisson, Uniform,
 };
 pub use histogram::{Ecdf, Histogram};
-pub use mc::{run_monte_carlo, McConfig};
+pub use mc::{run_monte_carlo, set_global_threads, McConfig};
 pub use polya::PolyaUrn;
 pub use rng::{SeedSequence, SplitMix64, Xoshiro256StarStar};
 pub use sa::{classify_zero, find_zeros, Stability};

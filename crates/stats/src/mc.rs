@@ -7,6 +7,28 @@
 //! scheduling, and results are returned in repetition order.
 
 use crate::rng::{SeedSequence, Xoshiro256StarStar};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker budget for [`run_monte_carlo`]; `0` means
+/// "one thread per available core".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default thread count used by [`McConfig`]s whose
+/// `threads` field is `0` (the default). `0` restores "one per core".
+///
+/// Harnesses wire their `--jobs N` flag here once at startup so that every
+/// ensemble in the process shares one worker budget. Thread count never
+/// affects results — only wall-clock time — so this is safe to change
+/// between runs.
+pub fn set_global_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The current process-wide default thread count (`0` = one per core).
+#[must_use]
+pub fn global_threads() -> usize {
+    GLOBAL_THREADS.load(Ordering::Relaxed)
+}
 
 /// Configuration for a Monte-Carlo ensemble.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,7 +37,8 @@ pub struct McConfig {
     pub repetitions: usize,
     /// Master seed; repetition `i` uses `SeedSequence::new(seed).child(i)`.
     pub seed: u64,
-    /// Worker threads; `0` means one thread per available core.
+    /// Worker threads; `0` defers to [`set_global_threads`], which in turn
+    /// defaults to one thread per available core.
     pub threads: usize,
 }
 
@@ -41,6 +64,10 @@ impl McConfig {
         if self.threads > 0 {
             return self.threads;
         }
+        let global = global_threads();
+        if global > 0 {
+            return global;
+        }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
@@ -49,6 +76,14 @@ impl McConfig {
 
 /// Runs `f(rep_index, rng)` for every repetition, in parallel, returning the
 /// results in repetition order.
+///
+/// Repetitions are distributed over workers by an atomic-index
+/// *work-stealing* loop: each worker repeatedly claims the next unclaimed
+/// batch of indices, so uneven per-repetition costs (e.g. Table 1's mixed
+/// horizons) no longer leave workers idle the way static chunking did.
+/// Determinism is unaffected — the seed of repetition `i` depends only on
+/// the master seed and `i`, and results are reassembled in repetition
+/// order, so output is bit-identical for every thread count.
 ///
 /// `f` must be deterministic given its inputs for the ensemble to be
 /// reproducible (the provided RNG is independently seeded per repetition).
@@ -73,40 +108,41 @@ where
             .collect();
     }
 
-    let mut results: Vec<Option<T>> = Vec::with_capacity(reps);
-    results.resize_with(reps, || None);
-    let chunk = reps.div_ceil(threads);
-
-    std::thread::scope(|scope| {
-        // Hand each worker a disjoint mutable window of the results vector.
-        let mut rest: &mut [Option<T>] = &mut results;
-        let mut start = 0usize;
-        let mut handles = Vec::new();
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let base = start;
-            start += take;
-            let f = &f;
-            let seq = seq.clone();
-            handles.push(scope.spawn(move || {
-                for (offset, slot) in head.iter_mut().enumerate() {
-                    let idx = base + offset;
-                    let mut rng = seq.child_rng(idx as u64);
-                    *slot = Some(f(idx, &mut rng));
-                }
-            }));
+    // Small batches amortize the atomic increment without recreating static
+    // chunking's tail imbalance.
+    let batch = (reps / (threads * 8)).clamp(1, 64);
+    let next = AtomicUsize::new(0);
+    let worker = |out: &mut Vec<(usize, T)>| loop {
+        let start = next.fetch_add(batch, Ordering::Relaxed);
+        if start >= reps {
+            break;
         }
+        for idx in start..(start + batch).min(reps) {
+            let mut rng = seq.child_rng(idx as u64);
+            out.push((idx, f(idx, &mut rng)));
+        }
+    };
+
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(reps);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    worker(&mut out);
+                    out
+                })
+            })
+            .collect();
+        worker(&mut collected);
         for h in handles {
-            h.join().expect("Monte-Carlo worker panicked");
+            collected.extend(h.join().expect("Monte-Carlo worker panicked"));
         }
     });
 
-    results
-        .into_iter()
-        .map(|r| r.expect("all repetitions filled"))
-        .collect()
+    collected.sort_unstable_by_key(|(idx, _)| *idx);
+    debug_assert_eq!(collected.len(), reps);
+    collected.into_iter().map(|(_, v)| v).collect()
 }
 
 #[cfg(test)]
@@ -160,6 +196,37 @@ mod tests {
         let again = run_monte_carlo(McConfig::new(4, 5), |_i, rng| rng.gen::<u64>());
         assert_eq!(out, again);
         assert_ne!(out[0], out[1]);
+    }
+
+    #[test]
+    fn uneven_work_items_complete_and_stay_ordered() {
+        // Work-stealing must cover every index exactly once even when item
+        // costs differ by orders of magnitude.
+        let out = run_monte_carlo(McConfig::new(97, 11).with_threads(5), |i, rng| {
+            let spins = if i % 13 == 0 { 20_000 } else { 10 };
+            let mut acc = 0u64;
+            for _ in 0..spins {
+                acc = acc.wrapping_add(rng.gen::<u64>() >> 60);
+            }
+            (i, acc.min(1))
+        });
+        assert_eq!(out.len(), 97);
+        for (k, (i, _)) in out.iter().enumerate() {
+            assert_eq!(k, *i);
+        }
+    }
+
+    #[test]
+    fn global_thread_budget_does_not_change_results() {
+        let run = || run_monte_carlo(McConfig::new(48, 21), |_i, rng| rng.gen::<u64>());
+        let auto = run();
+        set_global_threads(1);
+        let serial = run();
+        set_global_threads(3);
+        let three = run();
+        set_global_threads(0);
+        assert_eq!(auto, serial);
+        assert_eq!(auto, three);
     }
 
     #[test]
