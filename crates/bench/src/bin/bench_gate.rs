@@ -1,0 +1,110 @@
+//! `bench-gate` — fail CI on per-target wall-clock regressions.
+//!
+//! ```text
+//! bench_gate BASELINE.json FRESH.json [--tolerance PCT] [--abs-slack SECONDS]
+//! ```
+//!
+//! Both files use the `{target, seconds, reps}` schema written by
+//! `repro --timings`. The committed baseline lives at the repo root
+//! (`BENCH_baseline.json`); regenerate it with the same flags CI uses
+//! (`repro all --quick --jobs 4 --timings BENCH_baseline.json`) whenever
+//! an intentional cost change lands.
+
+use fairness_bench::gate::{calibration_factor, gate, parse_timings};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: bench_gate BASELINE.json FRESH.json [--tolerance PCT] [--abs-slack SECONDS]\n\
+     \x20                [--calibrate]\n\
+     \n\
+     Fails (exit 1) when any target in FRESH is slower than its BASELINE\n\
+     entry by more than PCT percent (default 25) AND by more than the\n\
+     absolute slack in seconds (default 0.5, shielding sub-second targets\n\
+     from runner noise).\n\
+     \n\
+     --calibrate rescales the baseline by the median fresh/baseline ratio\n\
+     first, so a baseline recorded on different hardware gates *relative*\n\
+     per-target regressions instead of raw machine speed (CI uses this)."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut tolerance = 25.0f64;
+    let mut abs_slack = 0.5f64;
+    let mut calibrate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--calibrate" => calibrate = true,
+            "--tolerance" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) if v >= 0.0 => tolerance = v,
+                    _ => {
+                        eprintln!("--tolerance needs a non-negative percentage\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--abs-slack" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) if v >= 0.0 => abs_slack = v,
+                    _ => {
+                        eprintln!("--abs-slack needs a non-negative duration\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => files.push(other.to_owned()),
+            other => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let [baseline_path, fresh_path] = files.as_slice() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+
+    let read_records = |path: &str| match std::fs::read_to_string(path) {
+        Ok(body) => parse_timings(&body).map_err(|e| format!("{path}: {e}")),
+        Err(e) => Err(format!("{path}: {e}")),
+    };
+    let (mut baseline, fresh) = match (read_records(baseline_path), read_records(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (b, f) => {
+            for err in [b.err(), f.err()].into_iter().flatten() {
+                eprintln!("bench-gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "bench-gate: {fresh_path} vs {baseline_path} (tolerance {tolerance}%, abs slack {abs_slack}s)"
+    );
+    if calibrate {
+        let factor = calibration_factor(&baseline, &fresh, abs_slack);
+        for b in &mut baseline {
+            b.seconds *= factor;
+        }
+        println!("  calibrated baseline by median fresh/baseline ratio {factor:.3}");
+    }
+    let outcome = gate(&baseline, &fresh, tolerance / 100.0, abs_slack);
+    print!("{}", outcome.report);
+    if outcome.failed {
+        eprintln!("bench-gate: FAIL — wall-clock regression beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!("bench-gate: ok");
+        ExitCode::SUCCESS
+    }
+}

@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|all]\n\
+    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|adversarial|all]\n\
      \x20            [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]\n\
      \x20            [--max-miners N] [--no-system] [--out DIR] [--timings FILE]\n\
      \n\
@@ -32,6 +32,8 @@ fn usage() -> &'static str {
      \x20 table1     multi-miner game ({2..5} then 10,15,.. up to --max-miners)\n\
      \x20 ablations  shard sweep, withholding-period sweep, Section 6.4 sketches\n\
      \x20 extensions cash-out miners, mining pools, decentralization, equitability\n\
+     \x20 adversarial selfish mining (alpha x gamma on PoW) + stake grinding\n\
+     \x20            (SL-PoS), each sweep validated against its closed form\n\
      \x20 all        everything above\n\
      \n\
      flags:\n\

@@ -24,6 +24,7 @@
 //! 3. Add the struct to [`registry`] and a line to the `repro` usage text.
 
 mod ablations;
+mod adversarial;
 pub mod cache;
 pub mod common;
 mod extensions;
@@ -36,6 +37,7 @@ mod fig6;
 mod table1;
 
 pub use ablations::ablations;
+pub use adversarial::adversarial;
 pub use cache::SweepCache;
 pub use common::P_EFF;
 pub use extensions::extensions;
@@ -249,11 +251,18 @@ experiment!(
     "cash-out miners, mining pools, decentralization, equitability",
     deps: []
 );
+experiment!(
+    AdversarialExp,
+    adversarial::adversarial,
+    "adversarial",
+    "selfish mining alpha x gamma on PoW, stake-grinding depth on SL-PoS",
+    deps: []
+);
 
 /// All registered experiments, in canonical (presentation) order.
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 9] = [
+    static REGISTRY: [&dyn Experiment; 10] = [
         &Fig1,
         &Fig2,
         &Fig3,
@@ -263,6 +272,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &Table1,
         &Ablations,
         &Extensions,
+        &AdversarialExp,
     ];
     &REGISTRY
 }

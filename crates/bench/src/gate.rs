@@ -1,0 +1,331 @@
+//! Wall-clock regression gate over `BENCH_repro.json` timing documents.
+//!
+//! [`crate::schedule::timings_json`] emits one `{target, seconds, reps}`
+//! record per experiment. The gate diffs a freshly measured document
+//! against a committed baseline (`BENCH_baseline.json` at the repo root)
+//! and fails on per-target regressions — the first piece of the ROADMAP's
+//! "compare successive `BENCH_repro.json` artifacts across commits"
+//! baseline store.
+//!
+//! Two guards keep machine noise from flaking the gate: regressions are
+//! measured relative to the committed baseline only above a *relative*
+//! tolerance (default 25%), and targets must also regress by an *absolute*
+//! slack (default 0.5 s) so sub-second experiments cannot trip it.
+
+use std::fmt::Write as _;
+
+/// One per-experiment timing record from a `BENCH_repro.json` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingRecord {
+    /// Experiment name (`fig1`, `table1`, `adversarial`, …).
+    pub target: String,
+    /// Wall-clock seconds spent inside the experiment.
+    pub seconds: f64,
+    /// Monte-Carlo repetitions the run was scaled to.
+    pub reps: u64,
+}
+
+/// Parses a `BENCH_repro.json` document (the exact schema
+/// [`crate::schedule::timings_json`] writes — an array of flat objects
+/// with `target`, `seconds` and `reps` fields).
+///
+/// # Errors
+/// Returns a message naming the malformed record when a field is missing
+/// or unparseable.
+pub fn parse_timings(json: &str) -> Result<Vec<TimingRecord>, String> {
+    let mut records = Vec::new();
+    for (i, object) in json
+        .split('{')
+        .skip(1)
+        .map(|rest| rest.split('}').next().unwrap_or(""))
+        .enumerate()
+    {
+        let field = |name: &str| -> Result<&str, String> {
+            let key = format!("\"{name}\":");
+            let start = object
+                .find(&key)
+                .ok_or_else(|| format!("record {i}: missing field {name}"))?
+                + key.len();
+            Ok(object[start..]
+                .split(',')
+                .next()
+                .unwrap_or("")
+                .trim()
+                .trim_matches('"'))
+        };
+        let seconds: f64 = field("seconds")?
+            .parse()
+            .map_err(|e| format!("record {i}: bad seconds: {e}"))?;
+        let reps: u64 = field("reps")?
+            .parse()
+            .map_err(|e| format!("record {i}: bad reps: {e}"))?;
+        records.push(TimingRecord {
+            target: field("target")?.to_owned(),
+            seconds,
+            reps,
+        });
+    }
+    if records.is_empty() {
+        return Err("no timing records found".to_owned());
+    }
+    Ok(records)
+}
+
+/// Result of gating a fresh timing document against a baseline.
+#[derive(Debug)]
+pub struct GateOutcome {
+    /// Human-readable per-target report.
+    pub report: String,
+    /// Whether any target regressed (or became incomparable).
+    pub failed: bool,
+}
+
+/// Machine-speed calibration factor: the **median** of per-target
+/// `fresh/baseline` ratios over comparable records (same target and reps,
+/// baseline above `floor` seconds). Multiplying the baseline by this
+/// factor before gating turns the absolute wall-clock comparison into a
+/// *relative* one — "did any target slow down versus the others" — which
+/// survives the baseline being recorded on different hardware than the
+/// fresh run (CI runners vs a dev workstation). The median is robust: a
+/// single genuinely regressed target cannot drag the factor up enough to
+/// mask itself among several targets.
+///
+/// Returns `1.0` when no pair is comparable.
+#[must_use]
+pub fn calibration_factor(baseline: &[TimingRecord], fresh: &[TimingRecord], floor: f64) -> f64 {
+    let mut ratios: Vec<f64> = fresh
+        .iter()
+        .filter_map(|f| {
+            baseline
+                .iter()
+                .find(|b| b.target == f.target && b.reps == f.reps && b.seconds > floor)
+                .map(|b| f.seconds / b.seconds)
+        })
+        .collect();
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    ratios[ratios.len() / 2]
+}
+
+/// Diffs `fresh` against `baseline`: a target fails when it is slower than
+/// `baseline · (1 + tolerance)` **and** slower by at least `abs_slack`
+/// seconds. New targets (absent from the baseline) pass with a note;
+/// baseline targets missing from the fresh run, or runs at different
+/// `reps`, fail as incomparable.
+#[must_use]
+pub fn gate(
+    baseline: &[TimingRecord],
+    fresh: &[TimingRecord],
+    tolerance: f64,
+    abs_slack: f64,
+) -> GateOutcome {
+    let mut report = String::new();
+    let mut failed = false;
+    for f in fresh {
+        match baseline.iter().find(|b| b.target == f.target) {
+            None => {
+                let _ = writeln!(
+                    report,
+                    "  {:<12} {:>8.3}s  new target (no baseline — re-baseline to track it)",
+                    f.target, f.seconds
+                );
+            }
+            Some(b) if b.reps != f.reps => {
+                failed = true;
+                let _ = writeln!(
+                    report,
+                    "  {:<12} FAIL: reps changed ({} baseline vs {} fresh) — regenerate the baseline",
+                    f.target, b.reps, f.reps
+                );
+            }
+            Some(b) => {
+                let limit = b.seconds * (1.0 + tolerance);
+                let regressed = f.seconds > limit && f.seconds - b.seconds > abs_slack;
+                if regressed {
+                    failed = true;
+                }
+                let delta = if b.seconds > 1e-9 {
+                    format!("{:+.1}%", (f.seconds / b.seconds - 1.0) * 100.0)
+                } else {
+                    "n/a".to_owned()
+                };
+                let _ = writeln!(
+                    report,
+                    "  {:<12} {:>8.3}s vs baseline {:>8.3}s ({delta})  {}",
+                    f.target,
+                    f.seconds,
+                    b.seconds,
+                    if regressed { "FAIL" } else { "ok" }
+                );
+            }
+        }
+    }
+    for b in baseline {
+        if !fresh.iter().any(|f| f.target == b.target) {
+            failed = true;
+            let _ = writeln!(
+                report,
+                "  {:<12} FAIL: present in baseline but missing from the fresh run",
+                b.target
+            );
+        }
+    }
+    GateOutcome { report, failed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{timings_json, RunOutcome};
+
+    fn record(target: &str, seconds: f64, reps: u64) -> TimingRecord {
+        TimingRecord {
+            target: target.to_owned(),
+            seconds,
+            reps,
+        }
+    }
+
+    #[test]
+    fn parses_what_timings_json_writes() {
+        let outcomes = vec![
+            RunOutcome {
+                name: "fig1",
+                seconds: 0.1234,
+                report: Ok(String::new()),
+            },
+            RunOutcome {
+                name: "adversarial",
+                seconds: 2.5,
+                report: Ok(String::new()),
+            },
+        ];
+        let parsed = parse_timings(&timings_json(&outcomes, 1000)).expect("roundtrip");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].target, "fig1");
+        assert!((parsed[0].seconds - 0.123).abs() < 1e-9);
+        assert_eq!(parsed[1].reps, 1000);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_timings("[]").is_err());
+        assert!(parse_timings("[{\"target\": \"x\"}]").is_err());
+        assert!(
+            parse_timings("[{\"target\": \"x\", \"seconds\": \"nan?\", \"reps\": 1}]").is_err()
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let baseline = vec![record("fig1", 10.0, 100)];
+        let fresh = vec![record("fig1", 12.0, 100)];
+        let out = gate(&baseline, &fresh, 0.25, 0.5);
+        assert!(!out.failed, "{}", out.report);
+        assert!(out.report.contains("ok"));
+    }
+
+    #[test]
+    fn gate_fails_beyond_tolerance() {
+        let baseline = vec![record("fig1", 10.0, 100)];
+        let fresh = vec![record("fig1", 13.0, 100)];
+        let out = gate(&baseline, &fresh, 0.25, 0.5);
+        assert!(out.failed);
+        assert!(out.report.contains("FAIL"));
+    }
+
+    #[test]
+    fn gate_absolute_slack_shields_subsecond_noise() {
+        // +300% on a 0.1 s target is still only +0.3 s — not a regression.
+        let baseline = vec![record("fig1", 0.1, 100)];
+        let fresh = vec![record("fig1", 0.4, 100)];
+        assert!(!gate(&baseline, &fresh, 0.25, 0.5).failed);
+        assert!(gate(&baseline, &fresh, 0.25, 0.01).failed);
+    }
+
+    #[test]
+    fn gate_handles_membership_changes() {
+        let baseline = vec![record("fig1", 1.0, 100), record("gone", 1.0, 100)];
+        let fresh = vec![record("fig1", 1.0, 100), record("brand-new", 9.0, 100)];
+        let out = gate(&baseline, &fresh, 0.25, 0.5);
+        assert!(out.failed, "missing baseline target must fail");
+        assert!(out.report.contains("new target"));
+        assert!(out.report.contains("missing from the fresh run"));
+    }
+
+    #[test]
+    fn calibration_normalizes_machine_speed() {
+        // Baseline from a machine 2x faster than the fresh runner: without
+        // calibration everything "regresses"; the median factor fixes it.
+        let baseline = vec![
+            record("fig2", 10.0, 100),
+            record("fig4", 20.0, 100),
+            record("table1", 30.0, 100),
+        ];
+        let fresh = vec![
+            record("fig2", 20.0, 100),
+            record("fig4", 40.0, 100),
+            record("table1", 60.0, 100),
+        ];
+        assert!(gate(&baseline, &fresh, 0.25, 0.5).failed);
+        let factor = calibration_factor(&baseline, &fresh, 0.5);
+        assert!((factor - 2.0).abs() < 1e-12, "{factor}");
+        let scaled: Vec<TimingRecord> = baseline
+            .iter()
+            .map(|b| record(&b.target, b.seconds * factor, b.reps))
+            .collect();
+        assert!(!gate(&scaled, &fresh, 0.25, 0.5).failed);
+    }
+
+    #[test]
+    fn calibration_median_does_not_mask_a_single_regression() {
+        // Same machine, but one target genuinely 3x slower: the median
+        // ratio stays ~1, so the regression still fails after calibration.
+        let baseline = vec![
+            record("fig2", 10.0, 100),
+            record("fig4", 20.0, 100),
+            record("table1", 30.0, 100),
+        ];
+        let fresh = vec![
+            record("fig2", 10.2, 100),
+            record("fig4", 60.0, 100),
+            record("table1", 29.5, 100),
+        ];
+        let factor = calibration_factor(&baseline, &fresh, 0.5);
+        assert!(factor < 1.1, "median must ignore the outlier: {factor}");
+        let scaled: Vec<TimingRecord> = baseline
+            .iter()
+            .map(|b| record(&b.target, b.seconds * factor, b.reps))
+            .collect();
+        let out = gate(&scaled, &fresh, 0.25, 0.5);
+        assert!(out.failed, "{}", out.report);
+        assert!(out.report.contains("fig4"));
+    }
+
+    #[test]
+    fn calibration_defaults_to_unity_without_comparable_pairs() {
+        let baseline = vec![record("fig1", 0.0, 100)];
+        let fresh = vec![record("fig1", 0.2, 100), record("new", 5.0, 100)];
+        assert!((calibration_factor(&baseline, &fresh, 0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_reports_na_not_nan() {
+        let baseline = vec![record("fig1", 0.0, 100)];
+        let fresh = vec![record("fig1", 0.2, 100)];
+        let out = gate(&baseline, &fresh, 0.25, 0.5);
+        assert!(out.report.contains("n/a"), "{}", out.report);
+        assert!(!out.report.contains("NaN"));
+    }
+
+    #[test]
+    fn gate_fails_on_reps_mismatch() {
+        let baseline = vec![record("fig1", 1.0, 100)];
+        let fresh = vec![record("fig1", 1.0, 1000)];
+        let out = gate(&baseline, &fresh, 0.25, 0.5);
+        assert!(out.failed);
+        assert!(out.report.contains("reps changed"));
+    }
+}

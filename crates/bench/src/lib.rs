@@ -32,6 +32,7 @@
 //! ensemble shared with Figures 2/3/5.
 
 pub mod experiments;
+pub mod gate;
 pub mod pool;
 pub mod report;
 pub mod schedule;

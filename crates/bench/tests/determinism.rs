@@ -113,31 +113,40 @@ fn sweep_cache_shares_fig2_fig3_fig5_ensembles() {
 #[test]
 fn subset_runs_match_full_runs_bytewise() {
     // Content-derived seeds mean an experiment's CSVs cannot depend on
-    // which other experiments ran in the same process.
+    // which other experiments ran in the same process. `adversarial`
+    // participates like any figure: its strategy-adapter ensembles key the
+    // sweep cache through the same content-addressed path.
     let base = std::env::temp_dir().join("fairness-bench-subset");
     let solo_dir = base.join("solo");
     let full_dir = base.join("full");
 
     let _ = std::fs::remove_dir_all(&base);
     let solo = Harness::new(opts(&solo_dir, 2));
-    let fig3 = registry()
+    let selection: Vec<_> = registry()
         .iter()
         .copied()
-        .find(|e| e.name() == "fig3")
-        .expect("fig3 registered");
-    for o in run_schedule(&[fig3], &solo.ctx()) {
+        .filter(|e| e.name() == "fig3" || e.name() == "adversarial")
+        .collect();
+    assert_eq!(selection.len(), 2, "fig3 and adversarial registered");
+    for o in run_schedule(&selection, &solo.ctx()) {
         assert!(o.report.is_ok());
     }
+    // Every distinct subset configuration computed exactly once.
+    assert_eq!(solo.cache().len() as u64, solo.cache().misses());
 
     run_all(&full_dir, 2);
 
     let solo_snap = csv_snapshot(&solo_dir);
     let full_snap = csv_snapshot(&full_dir);
     assert!(!solo_snap.is_empty());
+    assert!(
+        solo_snap.keys().any(|name| name.starts_with("adv_")),
+        "adversarial CSVs missing from subset run"
+    );
     for (name, bytes) in &solo_snap {
         assert_eq!(
             bytes, &full_snap[name],
-            "{name} differs between solo fig3 and full run"
+            "{name} differs between the subset and the full run"
         );
     }
 

@@ -63,22 +63,31 @@ impl PowEngine {
     pub fn trial_valid(&self, trial: &Hash256) -> bool {
         trial.to_u256() < self.target
     }
-}
 
-impl BlockLottery for PowEngine {
-    fn name(&self) -> &'static str {
-        "pow"
-    }
-
-    fn run(
+    /// Runs the nonce race with **per-miner parent tips** — the fork-aware
+    /// variant of [`BlockLottery::run`] used when an adversary withholds
+    /// blocks: miner `i` grinds on `tips[i]`, so public and private
+    /// branches race on equal terms. With all tips equal this is exactly
+    /// the ordinary lottery (and [`BlockLottery::run`] delegates here).
+    ///
+    /// # Panics
+    /// Panics if `tips` or `stakes` length differs from `miners`, no miner
+    /// has positive hash rate, or the target is so hard that no block is
+    /// found within the internal safety bound.
+    #[must_use]
+    pub fn run_on_tips(
         &self,
-        prev: &Hash256,
-        _height: u64,
+        tips: &[Hash256],
         miners: &[MinerProfile],
         stakes: &[u64],
         rng: &mut dyn RngCore,
     ) -> LotteryOutcome {
         check_inputs(miners, stakes);
+        assert_eq!(
+            tips.len(),
+            miners.len(),
+            "tips length must match miner count"
+        );
         assert!(
             miners.iter().any(|m| m.hash_rate > 0),
             "PoW needs at least one miner with positive hash rate"
@@ -92,7 +101,7 @@ impl BlockLottery for PowEngine {
                 for _ in 0..miner.hash_rate {
                     let nonce = cursors[mi];
                     cursors[mi] = cursors[mi].wrapping_add(1);
-                    let trial = Self::trial_hash(prev, &miner.pubkey, nonce);
+                    let trial = Self::trial_hash(&tips[mi], &miner.pubkey, nonce);
                     if self.trial_valid(&trial) {
                         let candidate = (trial, mi, nonce);
                         let better = match &best {
@@ -118,6 +127,24 @@ impl BlockLottery for PowEngine {
             "PoW lottery found no block within {} ticks — target too hard",
             self.max_ticks
         );
+    }
+}
+
+impl BlockLottery for PowEngine {
+    fn name(&self) -> &'static str {
+        "pow"
+    }
+
+    fn run(
+        &self,
+        prev: &Hash256,
+        _height: u64,
+        miners: &[MinerProfile],
+        stakes: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> LotteryOutcome {
+        let tips = vec![*prev; miners.len()];
+        self.run_on_tips(&tips, miners, stakes, rng)
     }
 
     fn verify(

@@ -60,22 +60,37 @@ impl SlPosEngine {
         }
         self.basetime as u128 * hit as u128 / stake as u128
     }
-}
 
-impl BlockLottery for SlPosEngine {
-    fn name(&self) -> &'static str {
-        "sl-pos"
+    /// The waiting time a miner would have on top of `prev` — hit lookup
+    /// plus scaling in one call. Stake grinders use this to score candidate
+    /// parent blocks (every hit is public, so anyone can evaluate the next
+    /// lottery for any candidate tip).
+    #[must_use]
+    pub fn next_waiting_time(&self, prev: &Hash256, pubkey: &Hash256, stake: u64) -> u128 {
+        self.waiting_time(Self::hit(prev, pubkey), stake)
     }
 
-    fn run(
+    /// Runs the single lottery with **per-miner parent tips** — the
+    /// fork-aware variant of [`BlockLottery::run`]: miner `i` draws her hit
+    /// from `tips[i]`, so branches race on equal terms during withholding.
+    /// Fully deterministic given the tips (no RNG), like the ordinary run.
+    ///
+    /// # Panics
+    /// Panics if `tips` or `stakes` length differs from `miners`, or total
+    /// stake is zero.
+    #[must_use]
+    pub fn run_on_tips(
         &self,
-        prev: &Hash256,
-        _height: u64,
+        tips: &[Hash256],
         miners: &[MinerProfile],
         stakes: &[u64],
-        _rng: &mut dyn RngCore,
     ) -> LotteryOutcome {
         check_inputs(miners, stakes);
+        assert_eq!(
+            tips.len(),
+            miners.len(),
+            "tips length must match miner count"
+        );
         assert!(
             total_stake(stakes) > 0,
             "SL-PoS requires positive total stake"
@@ -85,7 +100,7 @@ impl BlockLottery for SlPosEngine {
             if stakes[mi] == 0 {
                 continue;
             }
-            let hit = Self::hit(prev, &miner.pubkey);
+            let hit = Self::hit(&tips[mi], &miner.pubkey);
             let t = self.waiting_time(hit, stakes[mi]);
             // Tie on waiting time broken by the smaller raw hit, then by
             // miner index — fully deterministic like NXT's chain selection.
@@ -107,10 +122,28 @@ impl BlockLottery for SlPosEngine {
             elapsed_ticks: ((t >> 40) + 1).min(u64::MAX as u128) as u64,
             nonce: 0,
             proof_hash: HashBuilder::new("slpos-proof")
-                .hash(prev)
+                .hash(&tips[winner])
                 .hash(&miners[winner].pubkey)
                 .finish(),
         }
+    }
+}
+
+impl BlockLottery for SlPosEngine {
+    fn name(&self) -> &'static str {
+        "sl-pos"
+    }
+
+    fn run(
+        &self,
+        prev: &Hash256,
+        _height: u64,
+        miners: &[MinerProfile],
+        stakes: &[u64],
+        _rng: &mut dyn RngCore,
+    ) -> LotteryOutcome {
+        let tips = vec![*prev; miners.len()];
+        self.run_on_tips(&tips, miners, stakes)
     }
 
     fn verify(

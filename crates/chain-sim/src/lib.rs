@@ -55,6 +55,7 @@ pub use merkle::{MerkleTree, ProofStep};
 pub use sha256::{sha256, sha256d, Sha256};
 pub use sim::{
     experiment::{default_checkpoints, run_experiment},
+    fork::{ForkNetConfig, ForkNetSim},
     network::{CPosSim, Engine, NetworkConfig, NetworkSim, PowRetarget},
     EventQueue, ExperimentConfig, ExperimentOutcome, ProtocolKind,
 };

@@ -7,9 +7,11 @@
 //! the network harness.
 
 pub mod experiment;
+pub mod fork;
 pub mod network;
 
 pub use experiment::{ExperimentConfig, ExperimentOutcome, ProtocolKind};
+pub use fork::{ForkNetConfig, ForkNetSim};
 pub use network::{NetworkConfig, NetworkSim};
 
 use std::cmp::Reverse;

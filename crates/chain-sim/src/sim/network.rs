@@ -49,6 +49,33 @@ impl Engine {
     pub fn name(&self) -> &'static str {
         self.as_lottery().name()
     }
+
+    /// Runs the block lottery with **per-miner parent tips**, so a
+    /// withholding miner's private branch races the public branch on equal
+    /// terms (see [`super::fork::ForkNetSim`]). Tip racing is implemented
+    /// for the engines whose lotteries are per-block races — PoW and
+    /// SL-PoS; the kernel/treated engines (ML-PoS, FSL-PoS) have no
+    /// adversarial fork model here yet.
+    ///
+    /// # Panics
+    /// Panics for ML-PoS/FSL-PoS engines, or on invalid inputs (length
+    /// mismatches, no viable miner).
+    #[must_use]
+    pub fn run_on_tips(
+        &self,
+        tips: &[Hash256],
+        miners: &[MinerProfile],
+        stakes: &[u64],
+        rng: &mut dyn RngCore,
+    ) -> crate::consensus::LotteryOutcome {
+        match self {
+            Engine::Pow(e) => e.run_on_tips(tips, miners, stakes, rng),
+            Engine::SlPos(e) => e.run_on_tips(tips, miners, stakes),
+            Engine::MlPos(_) | Engine::FslPos(_) => {
+                panic!("tip racing is implemented for PoW and SL-PoS engines only")
+            }
+        }
+    }
 }
 
 /// Bitcoin-style periodic difficulty retargeting for PoW networks.

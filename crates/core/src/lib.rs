@@ -42,6 +42,7 @@
 //! assert!(last.unfair_probability > 0.1);          // but not robustly fair
 //! ```
 
+pub mod adversary;
 pub mod config;
 pub mod decentralization;
 pub mod fairness;
@@ -55,6 +56,10 @@ pub mod theory;
 pub mod trajectory;
 pub mod withholding;
 
+pub use adversary::{
+    run_fork_game, Adversary, ForkAction, ForkEvent, ForkMachine, ForkState, Honest, RevenueTally,
+    SelfishMining, StakeGrinding, Strategy,
+};
 pub use config::{GameConfig, ProtocolConfig};
 pub use decentralization::DecentralizationReport;
 pub use fairness::{
@@ -72,6 +77,9 @@ pub use withholding::WithholdingSchedule;
 
 /// Convenient glob import for experiments.
 pub mod prelude {
+    pub use crate::adversary::{
+        run_fork_game, Adversary, Honest, RevenueTally, SelfishMining, StakeGrinding, Strategy,
+    };
     pub use crate::config::{GameConfig, ProtocolConfig};
     pub use crate::decentralization::DecentralizationReport;
     pub use crate::fairness::{equitability, unfair_probability, EpsilonDelta, FairnessVerdict};

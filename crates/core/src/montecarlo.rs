@@ -134,7 +134,7 @@ where
             game.run_with_checkpoints(&config.checkpoints, rng).values
         },
     );
-    summarize(protocol.name(), config, &trajectories)
+    summarize(&protocol.label(), config, &trajectories)
 }
 
 /// Runs the ensemble tracking **every** miner, returning one summary per
@@ -180,7 +180,7 @@ where
                 s.swap(0, i);
                 s
             };
-            let mut summary = summarize(protocol.name(), &cfg, &per_rep);
+            let mut summary = summarize(&protocol.label(), &cfg, &per_rep);
             summary.share = shares[i];
             summary
         })

@@ -41,6 +41,15 @@ pub trait IncentiveProtocol: Send + Sync {
     /// Protocol name as used in the paper.
     fn name(&self) -> &'static str;
 
+    /// Human-readable label for reports and CSV columns. Defaults to
+    /// [`name`](Self::name); adapters that wrap another protocol
+    /// (cash-out, pools, adversarial strategies) override this to include
+    /// the inner protocol, so output rows stay unambiguous when the same
+    /// adapter wraps different protocols.
+    fn label(&self) -> String {
+        self.name().to_owned()
+    }
+
     /// Total reward issued per step (the paper's `w`, or `w + v` for
     /// C-PoS epochs).
     fn reward_per_step(&self) -> f64;
@@ -62,6 +71,18 @@ pub trait IncentiveProtocol: Send + Sync {
     /// Draws one step's allocation given the current staking powers
     /// (`stakes` need not be normalized; protocols use relative weights).
     fn step(&self, stakes: &[f64], step_index: u64, rng: &mut Xoshiro256StarStar) -> StepRewards;
+}
+
+/// Folds a wrapped protocol's *name* into an adapter's parameter
+/// fingerprint. Adapters report their own `name()`, so without this two
+/// different inner protocols with equal numeric parameters (say
+/// `CashOut<MlPos>` and `CashOut<SlPos>` at the same `w`) would be
+/// indistinguishable to memoizing harnesses.
+#[must_use]
+pub fn protocol_tag<P: IncentiveProtocol + ?Sized>(inner: &P) -> f64 {
+    let mut h = fairness_stats::cache::StableHasher::new();
+    h.write_str(inner.name());
+    f64::from_bits(h.finish())
 }
 
 #[cfg(test)]

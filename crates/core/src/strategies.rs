@@ -16,20 +16,8 @@
 //!   why robust-fairness-preserving protocols remove the incentive to
 //!   pool.
 
-use crate::protocol::{IncentiveProtocol, StepRewards};
-use fairness_stats::cache::StableHasher;
+use crate::protocol::{protocol_tag, IncentiveProtocol, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
-
-/// Folds the wrapped protocol's *name* into an adapter's parameter
-/// fingerprint. Adapters report their own `name()`, so without this two
-/// different inner protocols with equal numeric parameters (say
-/// `CashOut<MlPos>` and `CashOut<SlPos>` at the same `w`) would be
-/// indistinguishable to memoizing harnesses.
-fn protocol_tag<P: IncentiveProtocol>(inner: &P) -> f64 {
-    let mut h = StableHasher::new();
-    h.write_str(inner.name());
-    f64::from_bits(h.finish())
-}
 
 /// Wraps a protocol so that a designated miner's rewards never compound
 /// into staking power (she withdraws them each step). Income accounting is
@@ -69,6 +57,10 @@ impl<P: IncentiveProtocol> CashOut<P> {
 impl<P: IncentiveProtocol> IncentiveProtocol for CashOut<P> {
     fn name(&self) -> &'static str {
         "cash-out"
+    }
+
+    fn label(&self) -> String {
+        format!("cash-out({})", self.inner.label())
     }
 
     fn reward_per_step(&self) -> f64 {
@@ -138,6 +130,10 @@ impl<P: IncentiveProtocol> MiningPool<P> {
 impl<P: IncentiveProtocol> IncentiveProtocol for MiningPool<P> {
     fn name(&self) -> &'static str {
         "mining-pool"
+    }
+
+    fn label(&self) -> String {
+        format!("mining-pool({})", self.inner.label())
     }
 
     fn reward_per_step(&self) -> f64 {

@@ -1,0 +1,155 @@
+//! Snapshot test pinning the [`StableHasher`] fingerprint of every
+//! [`IncentiveProtocol::params`] implementation.
+//!
+//! Memoizing sweep harnesses key their caches — and derive ensemble seeds —
+//! from `(name, rewards_compound, params)` digests. A silent change to any
+//! `params()` (reordered fields, a dropped tag, a new default) would
+//! invalidate or, worse, *alias* cache entries without any test noticing:
+//! sweeps would silently recompute under fresh seeds or collide across
+//! configurations. This snapshot makes such a change loud: update the
+//! pinned digest only when the parameter change is intentional, and expect
+//! previously cached/persisted ensembles to be re-keyed.
+
+use fairness_core::prelude::*;
+use fairness_stats::cache::StableHasher;
+
+/// The digest the sweep-cache key derives per protocol configuration
+/// (mirrors `EnsembleKey`'s protocol-dependent prefix).
+fn fingerprint<P: IncentiveProtocol>(protocol: &P) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_str(protocol.name());
+    h.write_u64(u64::from(protocol.rewards_compound()));
+    let params = protocol.params();
+    h.write_u64(params.len() as u64);
+    for p in params {
+        h.write_f64(p);
+    }
+    h.finish()
+}
+
+#[test]
+fn params_fingerprints_are_pinned() {
+    let shares = [0.2, 0.8];
+    let pinned: Vec<(&str, u64, u64)> = vec![
+        (
+            "PoW",
+            fingerprint(&Pow::new(&shares, 0.01)),
+            0xE0F7_E057_7B8F_68E5,
+        ),
+        (
+            "ML-PoS",
+            fingerprint(&MlPos::new(0.01)),
+            0x458B_19BC_C157_1BCD,
+        ),
+        (
+            "SL-PoS",
+            fingerprint(&SlPos::new(0.01)),
+            0xD617_615E_5DFD_F519,
+        ),
+        (
+            "FSL-PoS",
+            fingerprint(&FslPos::new(0.01)),
+            0x7497_A1E5_F58E_6B18,
+        ),
+        (
+            "C-PoS",
+            fingerprint(&CPos::new(0.01, 0.1, 32)),
+            0x295E_7B49_41AB_DEA9,
+        ),
+        (
+            "NEO",
+            fingerprint(&Neo::new(&shares, 0.01)),
+            0x8F49_415E_1623_9B44,
+        ),
+        (
+            "Algorand",
+            fingerprint(&Algorand::new(0.1)),
+            0x30B8_A6DE_2FEB_41EC,
+        ),
+        (
+            "EOS",
+            fingerprint(&Eos::new(0.01, 0.1)),
+            0x9815_90CF_E10C_160A,
+        ),
+        (
+            "cash-out(ML-PoS)",
+            fingerprint(&CashOut::new(MlPos::new(0.01), 0, 0.2)),
+            0x1172_8EAD_F4DC_4663,
+        ),
+        (
+            "mining-pool(ML-PoS)",
+            fingerprint(&MiningPool::new(MlPos::new(0.01), vec![0, 1])),
+            0xF2A9_0128_3885_D2C6,
+        ),
+        (
+            "selfish-mining(PoW)",
+            fingerprint(&Adversary::new(
+                Pow::new(&shares, 0.01),
+                SelfishMining::new(0.5),
+            )),
+            0x6D36_F008_DD9A_9622,
+        ),
+        (
+            "stake-grinding(SL-PoS)",
+            fingerprint(&Adversary::new(SlPos::new(0.01), StakeGrinding::new(4))),
+            0x5F18_9EB2_BA7B_F19E,
+        ),
+        (
+            "honest(SL-PoS)",
+            fingerprint(&Adversary::new(SlPos::new(0.01), Honest)),
+            0x9E0C_B5DA_86C8_6B0F,
+        ),
+    ];
+    let mut mismatches = Vec::new();
+    for (label, actual, expected) in &pinned {
+        if actual != expected {
+            mismatches.push(format!(
+                "{label}: got {actual:#018X}, pinned {expected:#018X}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "params() fingerprints drifted — if intentional, re-pin and expect every\n\
+         cached ensemble for these protocols to be re-keyed:\n{}",
+        mismatches.join("\n")
+    );
+    // The snapshot must also stay collision-free.
+    let mut digests: Vec<u64> = pinned.iter().map(|(_, a, _)| *a).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    assert_eq!(digests.len(), pinned.len(), "fingerprint collision");
+}
+
+#[test]
+fn fingerprints_track_every_parameter() {
+    // Spot-check sensitivity: each constructor argument must move the
+    // digest, or two sweeps would share one cache slot.
+    assert_ne!(
+        fingerprint(&MlPos::new(0.01)),
+        fingerprint(&MlPos::new(0.02))
+    );
+    assert_ne!(
+        fingerprint(&CPos::new(0.01, 0.1, 32)),
+        fingerprint(&CPos::new(0.01, 0.1, 1))
+    );
+    assert_ne!(
+        fingerprint(&Adversary::new(
+            Pow::new(&[0.2, 0.8], 0.01),
+            SelfishMining::new(0.0)
+        )),
+        fingerprint(&Adversary::new(
+            Pow::new(&[0.2, 0.8], 0.01),
+            SelfishMining::new(1.0)
+        )),
+    );
+    assert_ne!(
+        fingerprint(&Adversary::new(SlPos::new(0.01), StakeGrinding::new(2))),
+        fingerprint(&Adversary::new(SlPos::new(0.01), StakeGrinding::new(3))),
+    );
+    // Adapters wrapping different inner protocols at equal numerics.
+    assert_ne!(
+        fingerprint(&CashOut::new(MlPos::new(0.01), 0, 0.2)),
+        fingerprint(&CashOut::new(FslPos::new(0.01), 0, 0.2))
+    );
+}

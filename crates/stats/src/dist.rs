@@ -851,6 +851,89 @@ pub fn geometric_race_win_with_tiebreak(p_i: f64, p_j: f64, tie_win: f64) -> f64
     geometric_race_win(p_i, p_j) + tie_win * geometric_race_tie(p_i, p_j)
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial-strategy closed forms
+// ---------------------------------------------------------------------------
+
+/// Eyal–Sirer relative revenue of a selfish miner with hash-power share
+/// `alpha` and tie-break parameter `gamma` ("Majority is not Enough",
+/// Eq. 8):
+///
+/// ```text
+/// R = [α(1−α)²(4α + γ(1−2α)) − α³] / [1 − α(1 + (2−α)α)]
+/// ```
+///
+/// `gamma` is the fraction of honest power that mines on the attacker's
+/// branch during a 1-vs-1 tip race. The strategy is profitable exactly when
+/// `R > α`, i.e. above [`selfish_mining_threshold`]. The Monte-Carlo fork
+/// driver in `fairness-core::adversary` is validated against this law.
+///
+/// # Panics
+/// Panics unless `alpha ∈ [0, 0.5]` and `gamma ∈ [0, 1]`.
+#[must_use]
+pub fn selfish_mining_relative_revenue(alpha: f64, gamma: f64) -> f64 {
+    assert!(
+        (0.0..=0.5).contains(&alpha),
+        "attacker share must be in [0, 0.5], got {alpha}"
+    );
+    assert!(
+        (0.0..=1.0).contains(&gamma),
+        "gamma must be in [0, 1], got {gamma}"
+    );
+    let a = alpha;
+    let numerator = a * (1.0 - a) * (1.0 - a) * (4.0 * a + gamma * (1.0 - 2.0 * a)) - a * a * a;
+    let denominator = 1.0 - a * (1.0 + (2.0 - a) * a);
+    if denominator <= 0.0 {
+        // Only reachable at α = 0.5 boundary round-off: monopoly.
+        return 1.0;
+    }
+    (numerator / denominator).clamp(0.0, 1.0)
+}
+
+/// Profitability threshold of Eyal–Sirer selfish mining: withholding beats
+/// honest mining iff the attacker's share exceeds `(1−γ)/(3−2γ)`.
+///
+/// `1/3` at `γ = 0`, `1/4` at `γ = 0.5`, `0` at `γ = 1`.
+///
+/// # Panics
+/// Panics unless `gamma ∈ [0, 1]`.
+#[must_use]
+pub fn selfish_mining_threshold(gamma: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&gamma),
+        "gamma must be in [0, 1], got {gamma}"
+    );
+    (1.0 - gamma) / (3.0 - 2.0 * gamma)
+}
+
+/// Stationary per-block win rate of a stake-grinding miner on a
+/// single-lottery PoS chain whose honest per-block win probability is `p`.
+///
+/// Whenever the grinder authored the previous block she redraws the next
+/// lottery's seed up to `tries` times and keeps the first winning draw
+/// (falling back to the final draw), boosting her conditional win
+/// probability to `g = 1 − (1−p)^tries`. The control bit "did I author the
+/// previous block" is a two-state Markov chain whose stationary win rate is
+///
+/// ```text
+/// π = p / (1 + p − g)
+/// ```
+///
+/// `tries = 1` gives `g = p` and `π = p` — grinding degenerates to honest
+/// mining. The lottery-redraw adapters in `fairness-core::adversary` and
+/// the candidate-nonce grinder in `chain-sim` are validated against this
+/// law at frozen stakes.
+///
+/// # Panics
+/// Panics unless `p ∈ [0, 1]` and `tries ≥ 1`.
+#[must_use]
+pub fn stake_grinding_win_probability(p: f64, tries: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    assert!(tries >= 1, "grinding needs at least one draw");
+    let g = 1.0 - (1.0 - p).powi(tries.min(i32::MAX as u32) as i32);
+    p / (1.0 + p - g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -984,6 +1067,62 @@ mod tests {
             assert!((total - 1.0).abs() < 1e-12);
             assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
+    }
+
+    #[test]
+    fn selfish_mining_closed_form_reference_points() {
+        // At the γ=0 threshold α = 1/3 the strategy exactly breaks even.
+        let r = selfish_mining_relative_revenue(1.0 / 3.0, 0.0);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12, "{r}");
+        // Below the threshold it strictly loses; above it strictly wins.
+        assert!(selfish_mining_relative_revenue(0.25, 0.0) < 0.25);
+        assert!(selfish_mining_relative_revenue(0.4, 0.0) > 0.4);
+        // γ = 1 makes any positive share profitable.
+        assert!(selfish_mining_relative_revenue(0.1, 1.0) > 0.1);
+        // Degenerate attacker earns nothing; α = 0.5 monopolizes.
+        assert_eq!(selfish_mining_relative_revenue(0.0, 0.5), 0.0);
+        assert!((selfish_mining_relative_revenue(0.5, 0.0) - 1.0).abs() < 1e-9);
+        // Revenue is monotone in γ.
+        let lo = selfish_mining_relative_revenue(0.3, 0.0);
+        let mid = selfish_mining_relative_revenue(0.3, 0.5);
+        let hi = selfish_mining_relative_revenue(0.3, 1.0);
+        assert!(lo < mid && mid < hi, "{lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn selfish_mining_threshold_reference_points() {
+        assert!((selfish_mining_threshold(0.0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((selfish_mining_threshold(0.5) - 0.25).abs() < 1e-15);
+        assert_eq!(selfish_mining_threshold(1.0), 0.0);
+        // Crossing property: revenue equals α exactly at the threshold.
+        for gamma in [0.0, 0.25, 0.5, 0.75] {
+            let t = selfish_mining_threshold(gamma);
+            let r = selfish_mining_relative_revenue(t, gamma);
+            assert!((r - t).abs() < 1e-12, "γ={gamma}: {r} vs {t}");
+        }
+    }
+
+    #[test]
+    fn stake_grinding_reference_points() {
+        // One try is honest mining.
+        assert!((stake_grinding_win_probability(0.125, 1) - 0.125).abs() < 1e-15);
+        // More tries strictly help (until saturation).
+        let p = 0.125;
+        let w2 = stake_grinding_win_probability(p, 2);
+        let w8 = stake_grinding_win_probability(p, 8);
+        assert!(p < w2 && w2 < w8, "{w2} {w8}");
+        // Hand-computed: p=0.5, tries=2 → g=0.75, π=0.5/0.75=2/3.
+        assert!((stake_grinding_win_probability(0.5, 2) - 2.0 / 3.0).abs() < 1e-15);
+        // Saturation: many tries → g → 1 → π → p/p = 1.
+        let sat = stake_grinding_win_probability(0.3, 1000);
+        assert!(sat <= 1.0 && sat > 0.99, "{sat}");
+        assert_eq!(stake_grinding_win_probability(0.0, 5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 0.5]")]
+    fn selfish_mining_rejects_majority_share() {
+        let _ = selfish_mining_relative_revenue(0.6, 0.0);
     }
 
     #[test]

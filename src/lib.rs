@@ -11,11 +11,13 @@
 //! * [`core`] (`fairness-core`) — fairness definitions (expectational and
 //!   `(ε, δ)`-robust), the incentive protocols (PoW, ML-PoS, SL-PoS,
 //!   C-PoS, FSL-PoS, NEO/Algorand/EOS sketches), the mining-game engine,
-//!   Monte-Carlo ensembles, and every theorem of the paper as code;
+//!   Monte-Carlo ensembles, adversarial strategies (selfish mining, stake
+//!   grinding), and every theorem of the paper as code;
 //! * [`chain`] (`chain-sim`) — the blockchain substrate: U256, SHA-256,
 //!   Merkle trees, ledger, mempool, difficulty rules, hash-level consensus
 //!   engines and the multi-node network simulation standing in for the
-//!   paper's Geth/Qtum/NXT testbed;
+//!   paper's Geth/Qtum/NXT testbed, including fork-aware adversarial
+//!   racing (`ForkNetSim`);
 //! * [`stats`] (`fairness-stats`) — the numerics substrate: RNG, special
 //!   functions, distributions, concentration bounds, Pólya urns,
 //!   stochastic approximation and a deterministic parallel Monte-Carlo
@@ -45,7 +47,8 @@ pub use fairness_stats as stats;
 /// experiment API.
 pub mod prelude {
     pub use chain_sim::{
-        run_experiment, CPosSim, ExperimentConfig, NetworkConfig, NetworkSim, ProtocolKind,
+        run_experiment, CPosSim, ExperimentConfig, ForkNetConfig, ForkNetSim, NetworkConfig,
+        NetworkSim, ProtocolKind,
     };
     pub use fairness_core::prelude::*;
 }
