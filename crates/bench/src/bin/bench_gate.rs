@@ -2,20 +2,25 @@
 //!
 //! ```text
 //! bench_gate BASELINE.json FRESH.json [--tolerance PCT] [--abs-slack SECONDS]
+//!            [--calibrate] [--history FILE.jsonl]
 //! ```
 //!
 //! Both files use the `{target, seconds, reps}` schema written by
 //! `repro --timings`. The committed baseline lives at the repo root
 //! (`BENCH_baseline.json`); regenerate it with the same flags CI uses
 //! (`repro all --quick --jobs 4 --timings BENCH_baseline.json`) whenever
-//! an intentional cost change lands.
+//! an intentional cost change lands. With `--history`, each run's timings
+//! are appended to a JSONL artifact and the per-target trend is printed
+//! alongside the single-snapshot verdict.
 
-use fairness_bench::gate::{calibration_factor, gate, parse_timings};
+use fairness_bench::gate::{
+    calibration_factor, gate, history_lines, parse_history, parse_timings, trend_report,
+};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: bench_gate BASELINE.json FRESH.json [--tolerance PCT] [--abs-slack SECONDS]\n\
-     \x20                [--calibrate]\n\
+     \x20                [--calibrate] [--history FILE.jsonl]\n\
      \n\
      Fails (exit 1) when any target in FRESH is slower than its BASELINE\n\
      entry by more than PCT percent (default 25) AND by more than the\n\
@@ -24,7 +29,11 @@ fn usage() -> &'static str {
      \n\
      --calibrate rescales the baseline by the median fresh/baseline ratio\n\
      first, so a baseline recorded on different hardware gates *relative*\n\
-     per-target regressions instead of raw machine speed (CI uses this)."
+     per-target regressions instead of raw machine speed (CI uses this).\n\
+     \n\
+     --history FILE appends this run's timings to FILE ({ts, target,\n\
+     seconds, reps} JSONL, created if absent) and prints each target's\n\
+     trend over the recorded runs next to the snapshot gate."
 }
 
 fn main() -> ExitCode {
@@ -33,10 +42,21 @@ fn main() -> ExitCode {
     let mut tolerance = 25.0f64;
     let mut abs_slack = 0.5f64;
     let mut calibrate = false;
+    let mut history_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--calibrate" => calibrate = true,
+            "--history" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => history_path = Some(v.clone()),
+                    None => {
+                        eprintln!("--history needs a file path\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--tolerance" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse::<f64>().ok()) {
@@ -100,6 +120,34 @@ fn main() -> ExitCode {
     }
     let outcome = gate(&baseline, &fresh, tolerance / 100.0, abs_slack);
     print!("{}", outcome.report);
+
+    if let Some(path) = history_path {
+        // Append this run, then show each target's trajectory — the
+        // history complements the snapshot verdict with a trend. A true
+        // O_APPEND write (never truncate-and-rewrite): a killed run can at
+        // worst tear its own trailing line, which parse_history skips.
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                use std::io::Write as _;
+                f.write_all(history_lines(ts, &fresh).as_bytes())
+            });
+        match appended {
+            Err(e) => eprintln!("bench-gate: appending history to {path} failed: {e}"),
+            Ok(()) => {
+                let body = std::fs::read_to_string(&path).unwrap_or_default();
+                let history = parse_history(&body);
+                println!("per-target trend over {path} (last 8 runs):");
+                print!("{}", trend_report(&history, 8));
+            }
+        }
+    }
+
     if outcome.failed {
         eprintln!("bench-gate: FAIL — wall-clock regression beyond tolerance");
         ExitCode::FAILURE

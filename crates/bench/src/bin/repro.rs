@@ -1,26 +1,35 @@
-//! `repro` — regenerate every figure and table of the paper.
+//! `repro` — regenerate every figure and table of the paper, or run
+//! user-authored scenario files.
 //!
 //! ```text
 //! repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|all]
+//!       [scenario FILE.scn] [list-protocols]
 //!       [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]
-//!       [--max-miners N] [--no-system] [--out DIR] [--timings FILE]
+//!       [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]
+//!       [--timings FILE]
 //! ```
 //!
 //! Run with `cargo run --release --bin repro -- all`. Results print to
 //! stdout and CSVs land under `results/` (override with `--out`).
 //! `--jobs N` bounds the shared worker budget (experiments, sweep points
 //! and Monte-Carlo repetitions); output is bit-identical for every `N`.
+//! Computed ensembles persist under `results/.cache/` across invocations
+//! (`--no-disk-cache` opts out).
 
 use fairness_bench::experiments::{find, registry, Harness};
+use fairness_bench::runner::scenario_report;
 use fairness_bench::schedule::{run_schedule, timings_json};
 use fairness_bench::ReproOptions;
+use fairness_core::scenario::text::parse_scenarios;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|adversarial|all]\n\
+     \x20            [scenario FILE.scn] [list-protocols]\n\
      \x20            [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]\n\
-     \x20            [--max-miners N] [--no-system] [--out DIR] [--timings FILE]\n\
+     \x20            [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]\n\
+     \x20            [--timings FILE]\n\
      \n\
      figures/tables (Huang et al., SIGMOD 2021):\n\
      \x20 fig1       SL-PoS win probability vs current share (drift to 0/1)\n\
@@ -30,19 +39,54 @@ fn usage() -> &'static str {
      \x20 fig5       unfair probability: w sweeps (ML/SL/C-PoS) + v sweep\n\
      \x20 fig6       FSL-PoS treatment, with and without reward withholding\n\
      \x20 table1     multi-miner game ({2..5} then 10,15,.. up to --max-miners)\n\
+     \x20            + SL-PoS monopolization threshold vs miner count\n\
      \x20 ablations  shard sweep, withholding-period sweep, Section 6.4 sketches\n\
      \x20 extensions cash-out miners, mining pools, decentralization, equitability\n\
      \x20 adversarial selfish mining (alpha x gamma on PoW) + stake grinding\n\
      \x20            (SL-PoS), each sweep validated against its closed form\n\
      \x20 all        everything above\n\
      \n\
+     declarative scenarios:\n\
+     \x20 scenario FILE   run every scenario in FILE (see examples/selfish_sweep.scn\n\
+     \x20                 and the README's \"Running your own scenarios\"); CSVs land\n\
+     \x20                 as scn_<name>.csv with the same --jobs determinism as the\n\
+     \x20                 built-in figures\n\
+     \x20 list-protocols  list every protocol, adapter and adversary strategy the\n\
+     \x20                 registry can construct from (name, params)\n\
+     \n\
      flags:\n\
      \x20 --jobs N       worker budget per scheduling layer (0 = one per core;\n\
      \x20                results are bit-identical for every N — only wall-clock\n\
      \x20                changes)\n\
      \x20 --max-miners N Table-1 sweep cap: m in {2,3,4,5} plus multiples of 5\n\
-     \x20                up to N (default 10 = the paper's {2,3,4,5,10})\n\
+     \x20                up to N (default 10 = the paper's {2,3,4,5,10}; 40 tested)\n\
+     \x20 --no-disk-cache  do not persist/reuse ensembles under <out>/.cache\n\
      \x20 --timings FILE write per-experiment wall-clock JSON ({target, seconds, reps})"
+}
+
+fn list_protocols() -> String {
+    let mut out = String::new();
+    out.push_str("protocols — construct any scenario protocol from (name, params):\n");
+    for entry in fairness_core::registry::registry() {
+        out.push_str(&format!("  {:<44} {}\n", entry.signature(), entry.summary));
+        for p in entry.params {
+            out.push_str(&format!("      {:<12} {}\n", p.key, p.doc));
+        }
+    }
+    out.push_str("\nstrategies — for adversary(strategy = ...):\n");
+    for entry in fairness_core::registry::strategies() {
+        out.push_str(&format!("  {:<44} {}\n", entry.signature(), entry.summary));
+    }
+    out.push_str(
+        "\nExample scenario file (see examples/selfish_sweep.scn):\n\n\
+         scenario \"selfish a=0.30\" {\n\
+         \x20 protocol = adversary(inner = pow(w = 0.01),\n\
+         \x20                      strategy = selfish-mining(gamma = 0.5))\n\
+         \x20 shares = [0.3, 0.7]\n\
+         \x20 checkpoints = linear(2000, 10)\n\
+         }\n",
+    );
+    out
 }
 
 fn main() -> ExitCode {
@@ -60,6 +104,7 @@ fn main() -> ExitCode {
         match args[i].as_str() {
             "--quick" => quick = true,
             "--no-system" => opts.with_system = false,
+            "--no-disk-cache" => opts.disk_cache = false,
             "--jobs" => {
                 i += 1;
                 match args.get(i).and_then(|v| v.parse().ok()) {
@@ -161,6 +206,72 @@ fn main() -> ExitCode {
         targets.push("all".to_owned());
     }
 
+    if targets.iter().any(|t| t == "list-protocols") {
+        print!("{}", list_protocols());
+        return ExitCode::SUCCESS;
+    }
+
+    // `scenario FILE` runs user-authored specs through the same harness
+    // (pool, sweep cache, disk persistence) as the built-in figures.
+    if targets.first().is_some_and(|t| t == "scenario") {
+        let [_, file] = targets.as_slice() else {
+            eprintln!("scenario needs exactly one spec file\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        let text = match std::fs::read_to_string(file) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("reading {file} failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let specs = match parse_scenarios(&text) {
+            Ok(specs) => specs,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        fairness_stats::mc::set_global_threads(opts.jobs);
+        let reps = opts.repetitions;
+        let harness = Harness::new(opts);
+        let started = std::time::Instant::now();
+        match scenario_report(&harness.ctx(), &specs) {
+            Ok(report) => {
+                let seconds = started.elapsed().as_secs_f64();
+                println!("{report}");
+                println!(
+                    "[{} scenario(s) in {seconds:.1}s wall-clock, jobs={}; sweep cache: {} ensembles, {} hits / {} misses ({} from disk)]",
+                    specs.len(),
+                    harness.ctx().pool.jobs(),
+                    harness.cache().len(),
+                    harness.cache().hits(),
+                    harness.cache().misses(),
+                    harness.cache().disk_hits(),
+                );
+                if let Some(path) = timings_path {
+                    // One record for the whole batch, same schema as the
+                    // figure targets.
+                    let outcome = fairness_bench::schedule::RunOutcome {
+                        name: "scenario",
+                        seconds,
+                        report: Ok(String::new()),
+                    };
+                    if let Err(e) = std::fs::write(&path, timings_json(&[outcome], reps)) {
+                        eprintln!("writing timings to {} failed: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                    println!("[timings written to {}]", path.display());
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     // Resolve targets against the registry, preserving canonical order for
     // `all` and request order otherwise.
     let selected: Vec<_> = if targets.iter().any(|t| t == "all") {
@@ -205,12 +316,13 @@ fn main() -> ExitCode {
     }
     println!("{}", "=".repeat(78));
     println!(
-        "[{} experiments in {total:.1}s wall-clock, jobs={}; sweep cache: {} ensembles, {} hits / {} misses]",
+        "[{} experiments in {total:.1}s wall-clock, jobs={}; sweep cache: {} ensembles, {} hits / {} misses ({} from disk)]",
         outcomes.len(),
         harness.ctx().pool.jobs(),
         harness.cache().len(),
         harness.cache().hits(),
         harness.cache().misses(),
+        harness.cache().disk_hits(),
     );
 
     if let Some(path) = timings_path {

@@ -3,11 +3,100 @@
 use super::common::{A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, write_csv, TextTable};
-use fairness_core::montecarlo::EnsembleSummary;
-use fairness_core::prelude::*;
+use crate::runner::run_scenarios;
+use fairness_core::fairness::EpsilonDelta;
+use fairness_core::miner::two_miner;
+use fairness_core::scenario::{ProtocolSpec, ScenarioSpec};
+use fairness_core::theory;
 use std::fmt::Write as _;
 use std::io;
-use std::sync::Arc;
+
+const SHARD_VALUES: [u32; 3] = [1, 4, 32];
+const PERIODS: [u64; 3] = [10, 100, 1000];
+const HORIZON: u64 = 3000;
+
+/// The ablations as data, in presentation order: the Theorem 4.10 shard
+/// sweep (3), the paper-default C-PoS anchor shared with Figures 2/3/5
+/// (1), the withholding-period sweep plus its no-withholding baseline (4),
+/// and the Section 6.4 sketches (3).
+#[must_use]
+pub fn ablations_specs() -> Vec<ScenarioSpec> {
+    let shares = two_miner(A_DEFAULT);
+    let mut specs: Vec<ScenarioSpec> = SHARD_VALUES
+        .iter()
+        .map(|&p| {
+            ScenarioSpec::builder(
+                format!("ablation shards P={p}"),
+                ProtocolSpec::new("c-pos")
+                    .with("w", W_DEFAULT)
+                    .with("v", 0.0)
+                    .with("shards", f64::from(p)),
+            )
+            .shares(&shares)
+            .linear(HORIZON, 15)
+            .build()
+        })
+        .collect();
+    specs.push(
+        ScenarioSpec::builder(
+            "ablation anchor c-pos",
+            ProtocolSpec::new("c-pos")
+                .with("w", W_DEFAULT)
+                .with("v", V_DEFAULT)
+                .with("shards", f64::from(P_EFF)),
+        )
+        .shares(&shares)
+        .linear(5000, 25)
+        .build(),
+    );
+    for i in 0..=PERIODS.len() {
+        let mut builder = ScenarioSpec::builder(
+            format!(
+                "ablation withholding {}",
+                PERIODS
+                    .get(i)
+                    .map_or_else(|| "none".to_owned(), |p| p.to_string())
+            ),
+            ProtocolSpec::new("fsl-pos").with("w", W_DEFAULT),
+        )
+        .shares(&shares)
+        .linear(HORIZON, 15);
+        if let Some(&period) = PERIODS.get(i) {
+            builder = builder.withholding(period);
+        }
+        specs.push(builder.build());
+    }
+    specs.push(
+        ScenarioSpec::builder(
+            "ablation neo",
+            ProtocolSpec::new("neo").with("w", W_DEFAULT),
+        )
+        .shares(&shares)
+        .linear(HORIZON, 15)
+        .build(),
+    );
+    specs.push(
+        ScenarioSpec::builder(
+            "ablation algorand",
+            ProtocolSpec::new("algorand").with("v", V_DEFAULT),
+        )
+        .shares(&shares)
+        .linear(HORIZON, 15)
+        .build(),
+    );
+    specs.push(
+        ScenarioSpec::builder(
+            "ablation eos",
+            ProtocolSpec::new("eos")
+                .with("w", W_DEFAULT)
+                .with("v", V_DEFAULT),
+        )
+        .shares(&shares)
+        .linear(HORIZON, 15)
+        .build(),
+    );
+    specs
+}
 
 /// Ablations beyond the paper's headline experiments: the Theorem 4.10
 /// shard sweep, the withholding-period sweep, and the Section 6.4 protocol
@@ -16,26 +105,21 @@ use std::sync::Arc;
 /// sweep cache.
 pub fn ablations(ctx: &ExperimentContext) -> io::Result<String> {
     let opts = ctx.opts;
-    let shares = two_miner(A_DEFAULT);
-    let horizon = 3000;
-    let checkpoints = linear_checkpoints(horizon, 15);
+    let horizon = HORIZON;
     let mut out = String::new();
     let _ = writeln!(out, "Ablations ({} repetitions)", opts.repetitions);
 
+    let all = run_scenarios(ctx, &ablations_specs())?;
+    let (shards, rest) = all.split_at(SHARD_VALUES.len());
+    let (anchor, rest) = rest.split_at(1);
+    let (withholding, sketches) = rest.split_at(PERIODS.len() + 1);
+
     // Shard sweep: Theorem 4.10's 1/P variance reduction.
     {
-        let shard_values = [1u32, 4, 32];
-        let summaries: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(shard_values.len(), |i| {
-            ctx.ensemble(
-                &CPos::new(W_DEFAULT, 0.0, shard_values[i]),
-                &shares,
-                &checkpoints,
-            )
-        });
         let mut t = TextTable::new(vec!["P", "unfair@3000", "Thm 4.10 LHS", "bound ok"]);
         let mut rows = Vec::new();
-        for (i, &p) in shard_values.iter().enumerate() {
-            let s = &summaries[i];
+        for (i, &p) in SHARD_VALUES.iter().enumerate() {
+            let s = &shards[i].summary;
             let lhs = theory::cpos::condition_lhs(horizon, W_DEFAULT, 0.0, p);
             let ok = theory::cpos::sufficient_condition(
                 horizon,
@@ -68,37 +152,21 @@ pub fn ablations(ctx: &ExperimentContext) -> io::Result<String> {
         // Anchor: the paper-default C-PoS (w=0.01, v=0.1, P_eff=1) on the
         // Figure 2/3/5 grid — requested here, computed at most once per
         // run thanks to the shared sweep cache.
-        let anchor = ctx.ensemble(
-            &CPos::new(W_DEFAULT, V_DEFAULT, P_EFF),
-            &shares,
-            &linear_checkpoints(5000, 25),
-        );
         let _ = writeln!(
             out,
             "anchor: paper-default C-PoS (v=0.1, P_eff=1) unfair@5000 = {} (Figures 2d/3d/5c-d share this ensemble)",
-            fmt4(anchor.final_point().unfair_probability)
+            fmt4(anchor[0].summary.final_point().unfair_probability)
         );
     }
 
     // Withholding period sweep on FSL-PoS (plus the no-withholding
     // baseline as the fourth sweep point).
     {
-        let periods = [10u64, 100, 1000];
-        let summaries: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(periods.len() + 1, |i| {
-            let withholding = periods.get(i).map(|&p| WithholdingSchedule::every(p));
-            ctx.ensemble_with(
-                &FslPos::new(W_DEFAULT),
-                &shares,
-                &checkpoints,
-                opts.repetitions,
-                withholding,
-            )
-        });
         let mut t = TextTable::new(vec!["period", "unfair@3000", "band width"]);
         let mut rows = Vec::new();
-        for (i, s) in summaries.iter().enumerate() {
-            let last = s.final_point();
-            let label = periods
+        for (i, o) in withholding.iter().enumerate() {
+            let last = o.summary.final_point();
+            let label = PERIODS
                 .get(i)
                 .map_or_else(|| "none".to_owned(), ToString::to_string);
             t.row(vec![
@@ -106,7 +174,7 @@ pub fn ablations(ctx: &ExperimentContext) -> io::Result<String> {
                 fmt4(last.unfair_probability),
                 fmt4(last.p95 - last.p05),
             ]);
-            if let Some(&period) = periods.get(i) {
+            if let Some(&period) = PERIODS.get(i) {
                 rows.push(vec![
                     period as f64,
                     last.unfair_probability,
@@ -135,16 +203,11 @@ pub fn ablations(ctx: &ExperimentContext) -> io::Result<String> {
             ("Algorand", "absolutely fair, (0,0)-fairness"),
             ("EOS", "expectationally unfair (constant proposer pay)"),
         ];
-        let summaries: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(3, |i| match i {
-            0 => ctx.ensemble(&Neo::new(&shares, W_DEFAULT), &shares, &checkpoints),
-            1 => ctx.ensemble(&Algorand::new(V_DEFAULT), &shares, &checkpoints),
-            _ => ctx.ensemble(&Eos::new(W_DEFAULT, V_DEFAULT), &shares, &checkpoints),
-        });
         let mut t = TextTable::new(vec!["protocol", "mean λ_A", "unfair@3000", "verdict"]);
-        for (s, (_, verdict)) in summaries.iter().zip(&labels_verdicts) {
-            let last = s.final_point();
+        for (o, (_, verdict)) in sketches.iter().zip(&labels_verdicts) {
+            let last = o.summary.final_point();
             t.row(vec![
-                s.protocol.clone(),
+                o.summary.protocol.clone(),
                 fmt4(last.mean),
                 fmt4(last.unfair_probability),
                 (*verdict).to_owned(),

@@ -12,6 +12,7 @@
 use super::common::{band_rows, A_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, write_csv, TextTable};
+use crate::runner::run_scenarios;
 use chain_sim::{target_for_expected_interval, Engine, ForkNetConfig, ForkNetSim, PowEngine};
 use fairness_core::prelude::*;
 use fairness_core::theory::slpos::win_probability_two_miner;
@@ -29,6 +30,54 @@ const GAMMAS: [f64; 3] = [0.0, 0.5, 1.0];
 /// The swept grinding depths.
 const TRIES: [u32; 4] = [1, 2, 4, 8];
 
+/// The selfish-mining α×γ grid as data: every point is an `adversary`
+/// composition in the protocol registry — exactly what a user could write
+/// in a `.scn` file (see `examples/selfish_sweep.scn`).
+#[must_use]
+pub fn selfish_specs() -> Vec<ScenarioSpec> {
+    GAMMAS
+        .iter()
+        .flat_map(|&gamma| {
+            ALPHAS.iter().map(move |&alpha| {
+                ScenarioSpec::builder(
+                    format!("adv selfish a={alpha} g={gamma}"),
+                    ProtocolSpec::new("adversary")
+                        .with("inner", ProtocolSpec::new("pow").with("w", W_DEFAULT))
+                        .with(
+                            "strategy",
+                            ProtocolSpec::new("selfish-mining").with("gamma", gamma),
+                        ),
+                )
+                .two_miner(alpha)
+                .linear(2000, 10)
+                .build()
+            })
+        })
+        .collect()
+}
+
+/// The stake-grinding depth sweep as data.
+#[must_use]
+pub fn grinding_specs() -> Vec<ScenarioSpec> {
+    TRIES
+        .iter()
+        .map(|&tries| {
+            ScenarioSpec::builder(
+                format!("adv grinding tries={tries}"),
+                ProtocolSpec::new("adversary")
+                    .with("inner", ProtocolSpec::new("sl-pos").with("w", W_DEFAULT))
+                    .with(
+                        "strategy",
+                        ProtocolSpec::new("stake-grinding").with("tries", f64::from(tries)),
+                    ),
+            )
+            .two_miner(A_DEFAULT)
+            .linear(3000, 10)
+            .build()
+        })
+        .collect()
+}
+
 /// Selfish-mining α×γ sweep on PoW plus a stake-grinding depth sweep on
 /// SL-PoS, each column paired with its closed form. With `--system`, the
 /// hash-level `ForkNetSim` overlays the model-level numbers.
@@ -44,20 +93,14 @@ pub fn adversarial(ctx: &ExperimentContext) -> io::Result<String> {
     // ---- Selfish mining on PoW: α × γ --------------------------------
     {
         let horizon = 2000u64;
-        let checkpoints = linear_checkpoints(horizon, 10);
         let configs: Vec<(f64, f64)> = GAMMAS
             .iter()
             .flat_map(|&g| ALPHAS.iter().map(move |&a| (a, g)))
             .collect();
-        let summaries = ctx.pool.par_map(configs.len(), |i| {
-            let (alpha, gamma) = configs[i];
-            let shares = two_miner(alpha);
-            ctx.ensemble(
-                &Adversary::new(Pow::new(&shares, W_DEFAULT), SelfishMining::new(gamma)),
-                &shares,
-                &checkpoints,
-            )
-        });
+        let summaries: Vec<_> = run_scenarios(ctx, &selfish_specs())?
+            .into_iter()
+            .map(|o| o.summary)
+            .collect();
 
         let mut t = TextTable::new(vec![
             "alpha",
@@ -128,16 +171,11 @@ pub fn adversarial(ctx: &ExperimentContext) -> io::Result<String> {
     // ---- Stake grinding on SL-PoS: depth sweep -----------------------
     {
         let horizon = 3000u64;
-        let checkpoints = linear_checkpoints(horizon, 10);
-        let shares = two_miner(A_DEFAULT);
         let p0 = win_probability_two_miner(A_DEFAULT);
-        let summaries = ctx.pool.par_map(TRIES.len(), |i| {
-            ctx.ensemble(
-                &Adversary::new(SlPos::new(W_DEFAULT), StakeGrinding::new(TRIES[i])),
-                &shares,
-                &checkpoints,
-            )
-        });
+        let summaries: Vec<_> = run_scenarios(ctx, &grinding_specs())?
+            .into_iter()
+            .map(|o| o.summary)
+            .collect();
         let mut t = TextTable::new(vec![
             "tries",
             "mean λ_A",

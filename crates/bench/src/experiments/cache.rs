@@ -15,11 +15,14 @@
 //! bit-identical whatever the scheduling, thread count, or subset of
 //! experiments selected.
 
+use super::diskcache;
 use fairness_core::fairness::EpsilonDelta;
 use fairness_core::montecarlo::{run_ensemble, EnsembleConfig, EnsembleSummary};
 use fairness_core::protocol::IncentiveProtocol;
 use fairness_core::withholding::WithholdingSchedule;
 use fairness_stats::cache::{MemoCache, StableHasher};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The semantic identity of a closed-form ensemble computation.
@@ -63,6 +66,26 @@ impl EnsembleKey {
         }
     }
 
+    /// The on-disk spill digest for this key under `master_seed`: a
+    /// domain-separated, versioned rehash of [`seed`](Self::seed), so spill
+    /// files are invalidated wholesale when the format changes and can
+    /// never collide with the RNG-seed domain by construction.
+    ///
+    /// The digest also mixes in the crate version and the spill module's
+    /// `SIMULATION_REVISION`: a spilled ensemble is only a *cache* of what
+    /// the current code would compute, so any release — and any
+    /// simulation-behavior change, which must bump the revision — orphans
+    /// every existing spill rather than serving stale trajectories.
+    #[must_use]
+    pub fn disk_digest(&self, master_seed: u64) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("ensemble-spill-v1");
+        h.write_str(env!("CARGO_PKG_VERSION"));
+        h.write_u64(super::diskcache::SIMULATION_REVISION);
+        h.write_u64(self.seed(master_seed));
+        h.finish()
+    }
+
     /// The ensemble's master seed: a stable digest of the key mixed with
     /// the run's master seed. Content-derived, so identical configurations
     /// collide on purpose and unrelated ones get well-separated streams.
@@ -93,11 +116,21 @@ impl EnsembleKey {
 }
 
 /// Memoized closed-form ensembles, shared by every experiment of a run.
+///
+/// Optionally backed by a content-addressed on-disk spill
+/// ([`with_disk`](Self::with_disk)), in which case a process-level miss
+/// first consults `dir` before computing, and every computed ensemble is
+/// spilled for future invocations. Disk reuse is invisible to results:
+/// the spill format round-trips `f64`s bit-exactly (see
+/// `diskcache`), and the digest covers the master seed, so a
+/// `--seed` change can never serve stale trajectories.
 #[derive(Debug)]
 pub struct SweepCache {
     master_seed: u64,
     eps_delta: EpsilonDelta,
     inner: MemoCache<EnsembleKey, Arc<EnsembleSummary>>,
+    disk: Option<PathBuf>,
+    disk_hits: AtomicU64,
 }
 
 impl SweepCache {
@@ -109,6 +142,19 @@ impl SweepCache {
             master_seed,
             eps_delta: EpsilonDelta::default(),
             inner: MemoCache::new(),
+            disk: None,
+            disk_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Like [`new`](Self::new), additionally persisting every ensemble
+    /// under `dir` (created on first write) and loading spilled ensembles
+    /// on process-level misses.
+    #[must_use]
+    pub fn with_disk(master_seed: u64, dir: PathBuf) -> Self {
+        Self {
+            disk: Some(dir),
+            ..Self::new(master_seed)
         }
     }
 
@@ -134,7 +180,26 @@ impl SweepCache {
             withholding,
         );
         let seed = key.seed(self.master_seed);
+        let digest = key.disk_digest(self.master_seed);
         self.inner.get_or_insert_with(&key, || {
+            if let Some(dir) = &self.disk {
+                if let Some(spilled) = diskcache::load(dir, digest) {
+                    // Shape guard against the astronomically unlikely
+                    // digest collision (and the merely unlikely hand-edited
+                    // file): a mismatched spill is treated as corrupt.
+                    if spilled.repetitions == repetitions
+                        && spilled.points.len() == checkpoints.len()
+                        && spilled
+                            .points
+                            .iter()
+                            .zip(checkpoints)
+                            .all(|(p, &n)| p.n == n)
+                    {
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::new(spilled);
+                    }
+                }
+            }
             let config = EnsembleConfig {
                 initial_shares: shares.to_vec(),
                 checkpoints: checkpoints.to_vec(),
@@ -143,8 +208,25 @@ impl SweepCache {
                 eps_delta: self.eps_delta,
                 withholding,
             };
-            Arc::new(run_ensemble(protocol, &config))
+            let summary = run_ensemble(protocol, &config);
+            if let Some(dir) = &self.disk {
+                diskcache::store(dir, digest, &summary);
+            }
+            Arc::new(summary)
         })
+    }
+
+    /// Process-level misses answered from the on-disk spill (a subset of
+    /// [`misses`](Self::misses)).
+    #[must_use]
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// The spill directory, when disk persistence is enabled.
+    #[must_use]
+    pub fn disk_dir(&self) -> Option<&std::path::Path> {
+        self.disk.as_deref()
     }
 
     /// Lookups answered without recomputation.
@@ -241,6 +323,71 @@ mod tests {
         );
         assert_ne!(key.seed(1), key.seed(2));
         assert_eq!(key.seed(1), key.seed(1));
+    }
+
+    #[test]
+    fn disk_spill_survives_process_cache_loss() {
+        // Two caches over one directory model two `repro` invocations: the
+        // second answers its process-level miss from disk, bit-exactly.
+        let dir = std::env::temp_dir().join("fairness-sweepcache-disk");
+        let _ = std::fs::remove_dir_all(&dir);
+        let shares = two_miner(0.2);
+        let cp = vec![50, 100];
+
+        let first = SweepCache::with_disk(99, dir.clone());
+        let a = first.ensemble(&MlPos::new(0.01), &shares, &cp, 40, None);
+        assert_eq!(first.disk_hits(), 0, "cold disk cannot hit");
+
+        let second = SweepCache::with_disk(99, dir.clone());
+        let b = second.ensemble(&MlPos::new(0.01), &shares, &cp, 40, None);
+        assert_eq!(second.misses(), 1, "still a process-level miss");
+        assert_eq!(second.disk_hits(), 1, "answered from disk");
+        assert_eq!(*a, *b, "disk reuse must be bit-exact");
+
+        // A different master seed must not reuse the spill.
+        let reseeded = SweepCache::with_disk(100, dir.clone());
+        let c = reseeded.ensemble(&MlPos::new(0.01), &shares, &cp, 40, None);
+        assert_eq!(reseeded.disk_hits(), 0, "seed is part of the digest");
+        assert_ne!(a.points, c.points);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_spill_recomputes_and_heals() {
+        let dir = std::env::temp_dir().join("fairness-sweepcache-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let shares = two_miner(0.2);
+        let cp = vec![50];
+
+        let cache = SweepCache::with_disk(7, dir.clone());
+        let a = cache.ensemble(&SlPos::new(0.01), &shares, &cp, 30, None);
+
+        // Garble the spill file in place.
+        let key = EnsembleKey::new(
+            &SlPos::new(0.01),
+            &shares,
+            &cp,
+            30,
+            EpsilonDelta::default(),
+            None,
+        );
+        let path = diskcache::entry_path(&dir, key.disk_digest(7));
+        assert!(path.exists(), "ensemble was spilled");
+        std::fs::write(&path, "not an ensemble").expect("corrupt");
+
+        let fresh = SweepCache::with_disk(7, dir.clone());
+        let b = fresh.ensemble(&SlPos::new(0.01), &shares, &cp, 30, None);
+        assert_eq!(fresh.disk_hits(), 0, "corrupt file must not count as a hit");
+        assert_eq!(*a, *b, "recomputation matches (content-derived seed)");
+
+        // The recomputation healed the file.
+        let healed = SweepCache::with_disk(7, dir.clone());
+        let c = healed.ensemble(&SlPos::new(0.01), &shares, &cp, 30, None);
+        assert_eq!(healed.disk_hits(), 1, "healed spill serves again");
+        assert_eq!(*a, *c);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Content-addressed on-disk spill of [`EnsembleSummary`] values.
+//!
+//! The in-memory [`super::SweepCache`] dies with the process; this module
+//! persists every computed ensemble under `results/.cache/` so repeated
+//! `repro` invocations (and `repro scenario` runs over the same grids)
+//! reuse ensembles across processes. Files are keyed by a versioned
+//! [`StableHasher`](fairness_stats::cache::StableHasher) digest of the
+//! full ensemble key *including the master seed*, so a `--seed` change
+//! can never serve stale trajectories.
+//!
+//! The format is a small line-oriented text encoding (consistent with the
+//! repo's no-real-serde dependency policy). `f64` values are printed with
+//! Rust's shortest round-tripping representation and re-parsed bit-exactly,
+//! so a disk hit is byte-identical to recomputation — the `--jobs`
+//! determinism guarantee survives persistence.
+//!
+//! Loading is corruption-tolerant by construction: any malformed,
+//! truncated or version-skewed file decodes to `None` and the ensemble is
+//! simply recomputed (and the file rewritten). A cache directory can be
+//! deleted, garbled or half-written by a crashed process without ever
+//! affecting results.
+
+use fairness_core::montecarlo::{BandPoint, EnsembleSummary};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Format tag; bump to invalidate every existing spill file.
+const MAGIC: &str = "fairness-ensemble v1";
+
+/// Simulation-behavior revision, mixed into every spill digest alongside
+/// the crate version. **Bump this whenever a change alters what any
+/// ensemble computes** — protocol `step` logic, `run_ensemble`,
+/// summarization, RNG streams — so stale spills from the previous
+/// behavior are orphaned instead of served. (Pure format changes bump
+/// [`MAGIC`] instead; releases invalidate automatically via the crate
+/// version.) The cache is an optimization only: `--no-disk-cache` or
+/// deleting `results/.cache/` always yields ground truth, and CI runs
+/// cold.
+pub(crate) const SIMULATION_REVISION: u64 = 1;
+
+/// The spill path for a digest.
+#[must_use]
+pub(crate) fn entry_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("{digest:016x}.ens"))
+}
+
+/// Serializes a summary in the spill format.
+#[must_use]
+pub(crate) fn encode(summary: &EnsembleSummary) -> String {
+    let mut out = String::new();
+    out.push_str(MAGIC);
+    out.push('\n');
+    out.push_str(&format!("protocol {}\n", summary.protocol));
+    out.push_str(&format!("share {}\n", summary.share));
+    out.push_str(&format!("repetitions {}\n", summary.repetitions));
+    out.push_str(&format!("points {}\n", summary.points.len()));
+    for p in &summary.points {
+        out.push_str(&format!(
+            "{} {} {} {} {}\n",
+            p.n, p.mean, p.p05, p.p95, p.unfair_probability
+        ));
+    }
+    out
+}
+
+/// Parses the spill format; `None` on any structural problem.
+#[must_use]
+pub(crate) fn decode(text: &str) -> Option<EnsembleSummary> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let protocol = lines.next()?.strip_prefix("protocol ")?.to_owned();
+    let share: f64 = lines.next()?.strip_prefix("share ")?.parse().ok()?;
+    let repetitions: usize = lines.next()?.strip_prefix("repetitions ")?.parse().ok()?;
+    let count: usize = lines.next()?.strip_prefix("points ")?.parse().ok()?;
+    let mut points = Vec::with_capacity(count);
+    for _ in 0..count {
+        let line = lines.next()?;
+        let mut fields = line.split(' ');
+        let point = BandPoint {
+            n: fields.next()?.parse().ok()?,
+            mean: fields.next()?.parse().ok()?,
+            p05: fields.next()?.parse().ok()?,
+            p95: fields.next()?.parse().ok()?,
+            unfair_probability: fields.next()?.parse().ok()?,
+        };
+        if fields.next().is_some() {
+            return None;
+        }
+        points.push(point);
+    }
+    if lines.next().is_some() {
+        return None;
+    }
+    Some(EnsembleSummary {
+        protocol,
+        share,
+        repetitions,
+        points,
+    })
+}
+
+/// Loads the spilled summary for `digest`, or `None` when absent or
+/// corrupt.
+#[must_use]
+pub(crate) fn load(dir: &Path, digest: u64) -> Option<EnsembleSummary> {
+    let text = fs::read_to_string(entry_path(dir, digest)).ok()?;
+    decode(&text)
+}
+
+/// Spills `summary` under `digest`, best-effort: a full disk or unwritable
+/// directory only costs the reuse, never the run. The write goes through a
+/// temporary sibling plus rename so concurrent writers (two `repro`
+/// processes on one grid) can never interleave a torn file.
+pub(crate) fn store(dir: &Path, digest: u64, summary: &EnsembleSummary) {
+    let _ = try_store(dir, digest, summary);
+}
+
+fn try_store(dir: &Path, digest: u64, summary: &EnsembleSummary) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let final_path = entry_path(dir, digest);
+    let tmp_path = dir.join(format!("{digest:016x}.tmp{}", std::process::id()));
+    {
+        let mut file = fs::File::create(&tmp_path)?;
+        file.write_all(encode(summary).as_bytes())?;
+    }
+    let renamed = fs::rename(&tmp_path, &final_path);
+    if renamed.is_err() {
+        let _ = fs::remove_file(&tmp_path);
+    }
+    renamed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EnsembleSummary {
+        EnsembleSummary {
+            protocol: "selfish-mining(PoW)".to_owned(),
+            share: 0.2,
+            repetitions: 40,
+            points: vec![
+                BandPoint {
+                    n: 100,
+                    mean: 0.2000000000000001,
+                    p05: 0.05,
+                    p95: 0.35,
+                    unfair_probability: 0.5,
+                },
+                BandPoint {
+                    n: 1_000_000,
+                    mean: 1e-12,
+                    p05: 0.0,
+                    p95: f64::MIN_POSITIVE,
+                    unfair_probability: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_bit_exact() {
+        let summary = sample();
+        let decoded = decode(&encode(&summary)).expect("round-trips");
+        assert_eq!(summary, decoded);
+        // Including awkward shortest-representation floats.
+        assert_eq!(
+            decoded.points[0].mean.to_bits(),
+            summary.points[0].mean.to_bits()
+        );
+        assert_eq!(
+            decoded.points[1].p95.to_bits(),
+            summary.points[1].p95.to_bits()
+        );
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let dir = std::env::temp_dir().join("fairness-diskcache-roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let summary = sample();
+        assert!(load(&dir, 7).is_none(), "empty cache misses");
+        store(&dir, 7, &summary);
+        assert_eq!(load(&dir, 7), Some(summary));
+        assert!(load(&dir, 8).is_none(), "other digests still miss");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_load_as_none() {
+        let dir = std::env::temp_dir().join("fairness-diskcache-corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        let cases: &[&str] = &[
+            "",
+            "garbage",
+            "fairness-ensemble v0\nprotocol x\nshare 0.2\nrepetitions 1\npoints 0\n",
+            // Truncated points section.
+            "fairness-ensemble v1\nprotocol x\nshare 0.2\nrepetitions 1\npoints 2\n1 0.2 0.1 0.3 0\n",
+            // Non-numeric field.
+            "fairness-ensemble v1\nprotocol x\nshare 0.2\nrepetitions 1\npoints 1\n1 zzz 0.1 0.3 0\n",
+            // Trailing junk.
+            "fairness-ensemble v1\nprotocol x\nshare 0.2\nrepetitions 1\npoints 1\n1 0.2 0.1 0.3 0\nextra\n",
+            // Extra column.
+            "fairness-ensemble v1\nprotocol x\nshare 0.2\nrepetitions 1\npoints 1\n1 0.2 0.1 0.3 0 9\n",
+        ];
+        for (i, case) in cases.iter().enumerate() {
+            fs::write(entry_path(&dir, i as u64), case).expect("write");
+            assert!(load(&dir, i as u64).is_none(), "case {i} must be rejected");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_overwrites_corruption() {
+        let dir = std::env::temp_dir().join("fairness-diskcache-heal");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        fs::write(entry_path(&dir, 3), "garbage").expect("write");
+        assert!(load(&dir, 3).is_none());
+        let summary = sample();
+        store(&dir, 3, &summary);
+        assert_eq!(load(&dir, 3), Some(summary), "rewrite heals the entry");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

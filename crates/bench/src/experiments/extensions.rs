@@ -3,10 +3,50 @@
 use super::common::{A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, write_csv, TextTable};
+use crate::runner::run_scenarios;
 use fairness_core::prelude::*;
 use fairness_stats::mc::{run_monte_carlo, McConfig};
 use std::fmt::Write as _;
 use std::io;
+
+/// The adapter-composition scenarios of this experiment, as data: the
+/// ML-PoS baseline vs a cash-out miner, and the solo vs pooled three-miner
+/// game — both exercising the registry's adapter entries.
+#[must_use]
+pub fn extensions_specs() -> Vec<ScenarioSpec> {
+    let shares = two_miner(A_DEFAULT);
+    let pool_shares = [0.2, 0.3, 0.5];
+    let ml = ProtocolSpec::new("ml-pos").with("w", W_DEFAULT);
+    vec![
+        ScenarioSpec::builder("ext passive ml-pos", ml.clone())
+            .shares(&shares)
+            .linear(5000, 10)
+            .build(),
+        ScenarioSpec::builder(
+            "ext cash-out ml-pos",
+            ProtocolSpec::new("cash-out")
+                .with("inner", ml.clone())
+                .with("miner", 0.0)
+                .with("stake", A_DEFAULT),
+        )
+        .shares(&shares)
+        .linear(5000, 10)
+        .build(),
+        ScenarioSpec::builder("ext solo ml-pos", ml.clone())
+            .shares(&pool_shares)
+            .explicit(vec![1000])
+            .build(),
+        ScenarioSpec::builder(
+            "ext mining-pool ml-pos",
+            ProtocolSpec::new("mining-pool")
+                .with("inner", ml)
+                .with("members", vec![0.0, 1.0]),
+        )
+        .shares(&pool_shares)
+        .explicit(vec![1000])
+        .build(),
+    ]
+}
 
 /// Extensions relaxing Assumption 4 and quantifying Section 6.5's
 /// discussion: cash-out miners, mining pools, decentralization decay, and
@@ -14,28 +54,16 @@ use std::io;
 pub fn extensions(ctx: &ExperimentContext) -> io::Result<String> {
     use fairness_core::decentralization::DecentralizationReport;
     use fairness_core::fairness::equitability;
-    use fairness_core::strategies::{CashOut, MiningPool};
 
     let opts = ctx.opts;
     let mut out = String::new();
     let _ = writeln!(out, "Extensions ({} repetitions)", opts.repetitions);
 
+    let outcomes = run_scenarios(ctx, &extensions_specs())?;
+
     // Cash-out miner: Assumption 4 is load-bearing for Theorem 3.3.
     {
-        let checkpoints = linear_checkpoints(5000, 10);
-        let shares = two_miner(A_DEFAULT);
-        let pair = ctx.pool.par_map(2, |i| {
-            if i == 0 {
-                ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, &checkpoints)
-            } else {
-                ctx.ensemble(
-                    &CashOut::new(MlPos::new(W_DEFAULT), 0, A_DEFAULT),
-                    &shares,
-                    &checkpoints,
-                )
-            }
-        });
-        let (passive, cash_out) = (&pair[0], &pair[1]);
+        let (passive, cash_out) = (&outcomes[0].summary, &outcomes[1].summary);
         let mut t = TextTable::new(vec!["n", "passive mean λ", "cash-out mean λ"]);
         let mut rows = Vec::new();
         for (p, c) in passive.points.iter().zip(&cash_out.points) {
@@ -58,21 +86,8 @@ pub fn extensions(ctx: &ExperimentContext) -> io::Result<String> {
 
     // Mining pools: variance collapse without expectation change (§6.5).
     {
-        let shares = vec![0.2, 0.3, 0.5];
-        let checkpoints = vec![1000u64];
-        let pair = ctx.pool.par_map(2, |i| {
-            if i == 0 {
-                ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, &checkpoints)
-            } else {
-                ctx.ensemble(
-                    &MiningPool::new(MlPos::new(W_DEFAULT), vec![0, 1]),
-                    &shares,
-                    &checkpoints,
-                )
-            }
-        });
-        let solo = pair[0].final_point();
-        let pooled = pair[1].final_point();
+        let solo = outcomes[2].summary.final_point();
+        let pooled = outcomes[3].summary.final_point();
         let mut t = TextTable::new(vec!["strategy", "mean λ_A", "band width", "unfair"]);
         t.row(vec![
             "solo".to_owned(),

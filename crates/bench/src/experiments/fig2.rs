@@ -1,15 +1,59 @@
 //! Figure 2: band evolution under the four protocols.
+//!
+//! The first figure to be fully declarative: [`fig2_specs`] *describes*
+//! the four ensembles (three with hash-level cross-checks) as
+//! [`ScenarioSpec`] values, [`crate::runner::run_scenarios`] executes
+//! them, and [`fig2`] is reduced to a formatting pass. Output is
+//! byte-identical to the pre-spec implementation.
 
 use super::common::{band_rows, render_band_table, A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, write_csv};
-use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
-use fairness_core::montecarlo::{summarize, EnsembleConfig, EnsembleSummary};
-use fairness_core::prelude::*;
-use fairness_stats::mc::{run_monte_carlo, McConfig};
+use crate::runner::run_scenarios;
+use fairness_core::miner::two_miner;
+use fairness_core::scenario::{ProtocolSpec, ScenarioSpec};
 use std::fmt::Write as _;
 use std::io;
-use std::sync::Arc;
+
+/// Figure 2 as data: PoW / ML-PoS / SL-PoS / C-PoS bands at `a = 0.2`,
+/// `w = 0.01`, `v = 0.1`, with chain-sim cross-checks for the three
+/// protocols the paper ran on real systems (Geth/Qtum/NXT stand-ins).
+#[must_use]
+pub fn fig2_specs() -> Vec<ScenarioSpec> {
+    let shares = two_miner(A_DEFAULT);
+    let horizon = 5000;
+    let sys_horizon = 1500;
+    let panel = |label: &str, protocol: ProtocolSpec| {
+        ScenarioSpec::builder(format!("fig2 {label}"), protocol)
+            .shares(&shares)
+            .linear(horizon, 25)
+    };
+    vec![
+        panel("(a) PoW", ProtocolSpec::new("pow").with("w", W_DEFAULT))
+            .system("pow", sys_horizon, 0x31)
+            .build(),
+        panel(
+            "(b) ML-PoS",
+            ProtocolSpec::new("ml-pos").with("w", W_DEFAULT),
+        )
+        .system("ml-pos", sys_horizon, 0x32)
+        .build(),
+        panel(
+            "(c) SL-PoS",
+            ProtocolSpec::new("sl-pos").with("w", W_DEFAULT),
+        )
+        .system("sl-pos", sys_horizon, 0x33)
+        .build(),
+        panel(
+            "(d) C-PoS",
+            ProtocolSpec::new("c-pos")
+                .with("w", W_DEFAULT)
+                .with("v", V_DEFAULT)
+                .with("shards", f64::from(P_EFF)),
+        )
+        .build(),
+    ]
+}
 
 /// Figure 2: evolution of `λ_A` (mean, 5th–95th percentile band) for PoW,
 /// ML-PoS, SL-PoS and C-PoS with `a = 0.2`, `w = 0.01`, `v = 0.1`.
@@ -17,9 +61,7 @@ use std::sync::Arc;
 /// -form simulation (the paper's green bars vs blue bands).
 pub fn fig2(ctx: &ExperimentContext) -> io::Result<String> {
     let opts = ctx.opts;
-    let horizon = 5000;
-    let checkpoints = linear_checkpoints(horizon, 25);
-    let shares = two_miner(A_DEFAULT);
+    let outcomes = run_scenarios(ctx, &fig2_specs())?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -28,17 +70,8 @@ pub fn fig2(ctx: &ExperimentContext) -> io::Result<String> {
     );
 
     let labels = ["(a) PoW", "(b) ML-PoS", "(c) SL-PoS", "(d) C-PoS"];
-    let summaries: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(4, |i| match i {
-        0 => ctx.ensemble(&Pow::new(&shares, W_DEFAULT), &shares, &checkpoints),
-        1 => ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, &checkpoints),
-        2 => ctx.ensemble(&SlPos::new(W_DEFAULT), &shares, &checkpoints),
-        _ => ctx.ensemble(
-            &CPos::new(W_DEFAULT, V_DEFAULT, P_EFF),
-            &shares,
-            &checkpoints,
-        ),
-    });
-    for (label, summary) in labels.iter().zip(&summaries) {
+    for (label, outcome) in labels.iter().zip(&outcomes) {
+        let summary = &outcome.summary;
         let name = format!("fig2_{}", summary.protocol.to_lowercase().replace('-', ""));
         let path = write_csv(
             &opts.results_dir,
@@ -56,33 +89,13 @@ pub fn fig2(ctx: &ExperimentContext) -> io::Result<String> {
 
     if opts.with_system {
         out.push_str("\nhash-level system runs (chain-sim stand-ins for Geth/Qtum/NXT):\n");
-        let sys_horizon = 1500;
-        let kinds = [
-            (ProtocolKind::Pow, 0x31u64),
-            (ProtocolKind::MlPos, 0x32),
-            (ProtocolKind::SlPos, 0x33),
-        ];
-        let system = ctx.pool.par_map(kinds.len(), |i| {
-            let (kind, salt) = kinds[i];
-            let config = ExperimentConfig::two_miner(kind, A_DEFAULT, W_DEFAULT, sys_horizon);
-            let trajectories = run_monte_carlo(
-                McConfig::new(opts.system_repetitions, opts.seed ^ salt),
-                |_i, rng| run_experiment(&config, rng).lambda_series,
-            );
-            let ec = EnsembleConfig {
-                initial_shares: two_miner(A_DEFAULT),
-                checkpoints: config.checkpoints.clone(),
-                repetitions: opts.system_repetitions,
-                seed: opts.seed ^ salt,
-                eps_delta: EpsilonDelta::default(),
-                withholding: None,
+        for outcome in &outcomes {
+            let Some(summary) = &outcome.system else {
+                continue;
             };
-            (kind, summarize(kind.name(), &ec, &trajectories))
-        });
-        for (kind, summary) in &system {
             let name = format!(
                 "fig2_system_{}",
-                kind.name().to_lowercase().replace('-', "")
+                summary.protocol.to_lowercase().replace('-', "")
             );
             let path = write_csv(
                 &opts.results_dir,
@@ -94,7 +107,7 @@ pub fn fig2(ctx: &ExperimentContext) -> io::Result<String> {
             let _ = writeln!(
                 out,
                 "{:8} n={}  mean={}  band=[{}, {}]  csv: {}",
-                kind.name(),
+                summary.protocol,
                 last.n,
                 fmt4(last.mean),
                 fmt4(last.p05),
@@ -117,5 +130,14 @@ mod tests {
         let out = fig2(&h.ctx()).expect("fig2");
         assert!(out.contains("(a) PoW"));
         assert!(out.contains("(d) C-PoS"));
+    }
+
+    #[test]
+    fn fig2_specs_shape() {
+        let specs = fig2_specs();
+        assert_eq!(specs.len(), 4);
+        // The paper cross-checks PoW/ML-PoS/SL-PoS on real systems.
+        assert_eq!(specs.iter().filter(|s| s.system.is_some()).count(), 3);
+        assert!(specs.iter().all(|s| s.initial_shares == vec![0.2, 0.8]));
     }
 }

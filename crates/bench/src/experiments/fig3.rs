@@ -3,37 +3,53 @@
 use super::common::{P_EFF, V_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, fmt_convergence, write_csv, TextTable};
-use fairness_core::montecarlo::EnsembleSummary;
-use fairness_core::prelude::*;
+use crate::runner::run_scenarios;
+use fairness_core::fairness::EpsilonDelta;
+use fairness_core::miner::two_miner;
+use fairness_core::scenario::{ProtocolSpec, ScenarioSpec};
+use fairness_core::theory;
+use fairness_core::trajectory::linear_checkpoints;
 use std::fmt::Write as _;
 use std::io;
-use std::sync::Arc;
 
 const A_VALUES: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
 const PANELS: [&str; 4] = ["(a) PoW", "(b) ML-PoS", "(c) SL-PoS", "(d) C-PoS"];
 
-fn panel_ensemble(
-    ctx: &ExperimentContext,
-    panel: usize,
-    a: f64,
-    checkpoints: &[u64],
-) -> Arc<EnsembleSummary> {
-    let shares = two_miner(a);
+fn panel_protocol(panel: usize) -> ProtocolSpec {
     match panel {
-        0 => ctx.ensemble(&Pow::new(&shares, W_DEFAULT), &shares, checkpoints),
-        1 => ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, checkpoints),
-        2 => ctx.ensemble(&SlPos::new(W_DEFAULT), &shares, checkpoints),
-        _ => ctx.ensemble(
-            &CPos::new(W_DEFAULT, V_DEFAULT, P_EFF),
-            &shares,
-            checkpoints,
-        ),
+        0 => ProtocolSpec::new("pow").with("w", W_DEFAULT),
+        1 => ProtocolSpec::new("ml-pos").with("w", W_DEFAULT),
+        2 => ProtocolSpec::new("sl-pos").with("w", W_DEFAULT),
+        _ => ProtocolSpec::new("c-pos")
+            .with("w", W_DEFAULT)
+            .with("v", V_DEFAULT)
+            .with("shards", f64::from(P_EFF)),
     }
 }
 
+/// Figure 3 as data: all 16 `(panel, a)` sweep points. The `a = 0.2`
+/// column of every panel is Figure 2's ensemble, shared through the sweep
+/// cache (the spec route preserves the content-addressed keys).
+#[must_use]
+pub fn fig3_specs() -> Vec<ScenarioSpec> {
+    let horizon = 5000;
+    (0..PANELS.len() * A_VALUES.len())
+        .map(|k| {
+            let panel = k / A_VALUES.len();
+            let a = A_VALUES[k % A_VALUES.len()];
+            ScenarioSpec::builder(
+                format!("fig3 {} a={a}", PANELS[panel]),
+                panel_protocol(panel),
+            )
+            .shares(&two_miner(a))
+            .linear(horizon, 25)
+            .build()
+        })
+        .collect()
+}
+
 /// Figure 3: unfair probability vs `n` for `a ∈ {0.1, 0.2, 0.3, 0.4}` under
-/// all four protocols (`w = 0.01`, `v = 0.1`). The `a = 0.2` column of
-/// every panel is Figure 2's ensemble, shared through the sweep cache.
+/// all four protocols (`w = 0.01`, `v = 0.1`).
 pub fn fig3(ctx: &ExperimentContext) -> io::Result<String> {
     let opts = ctx.opts;
     let horizon = 5000;
@@ -45,28 +61,20 @@ pub fn fig3(ctx: &ExperimentContext) -> io::Result<String> {
         opts.repetitions
     );
 
-    // All 16 (panel, a) sweep points drain from the shared pool at once.
-    let all: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(PANELS.len() * A_VALUES.len(), |k| {
-        panel_ensemble(
-            ctx,
-            k / A_VALUES.len(),
-            A_VALUES[k % A_VALUES.len()],
-            &checkpoints,
-        )
-    });
+    let all = run_scenarios(ctx, &fig3_specs())?;
 
     for (pi, label) in PANELS.iter().enumerate() {
-        let summaries = &all[pi * A_VALUES.len()..(pi + 1) * A_VALUES.len()];
+        let outcomes = &all[pi * A_VALUES.len()..(pi + 1) * A_VALUES.len()];
         // CSV: one row per checkpoint, one unfair column per a.
         let mut rows = Vec::new();
         for (ci, &n) in checkpoints.iter().enumerate() {
             let mut row = vec![n as f64];
-            for s in summaries {
-                row.push(s.points[ci].unfair_probability);
+            for o in outcomes {
+                row.push(o.summary.points[ci].unfair_probability);
             }
             rows.push(row);
         }
-        let proto = summaries[0].protocol.to_lowercase().replace('-', "");
+        let proto = outcomes[0].summary.protocol.to_lowercase().replace('-', "");
         let path = write_csv(
             &opts.results_dir,
             &format!("fig3_{proto}"),
@@ -87,9 +95,10 @@ pub fn fig3(ctx: &ExperimentContext) -> io::Result<String> {
             "unfair@5000",
             "cvg time",
         ]);
-        for (ai, s) in summaries.iter().enumerate() {
+        for (ai, o) in outcomes.iter().enumerate() {
             let at = |n: u64| {
-                s.points
+                o.summary
+                    .points
                     .iter()
                     .find(|p| p.n >= n)
                     .map_or(f64::NAN, |p| p.unfair_probability)
@@ -99,7 +108,7 @@ pub fn fig3(ctx: &ExperimentContext) -> io::Result<String> {
                 fmt4(at(500)),
                 fmt4(at(2000)),
                 fmt4(at(5000)),
-                fmt_convergence(s.convergence_time(EpsilonDelta::default())),
+                fmt_convergence(o.summary.convergence_time(EpsilonDelta::default())),
             ]);
         }
         out.push_str(&t.render());

@@ -3,14 +3,46 @@
 use super::common::{A_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, write_csv, TextTable};
-use fairness_core::montecarlo::EnsembleSummary;
-use fairness_core::prelude::*;
+use crate::runner::{run_scenarios, ScenarioOutcome};
+use fairness_core::miner::two_miner;
+use fairness_core::scenario::{ProtocolSpec, ScenarioSpec};
+use fairness_core::theory;
+use fairness_core::trajectory::log_checkpoints;
 use std::fmt::Write as _;
 use std::io;
-use std::sync::Arc;
 
 const A_VALUES: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
 const W_VALUES: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
+const HORIZON: u64 = 100_000;
+
+/// Figure 4 as data: 5 share points at `w = 0.01`, then 4 reward points at
+/// `a = 0.2`. The `(a = 0.2, w = 0.01)` point appears in both sweeps and
+/// is computed once through the sweep cache.
+#[must_use]
+pub fn fig4_specs() -> Vec<ScenarioSpec> {
+    let mut specs: Vec<ScenarioSpec> = A_VALUES
+        .iter()
+        .map(|&a| {
+            ScenarioSpec::builder(
+                format!("fig4 (a) sl-pos a={a}"),
+                ProtocolSpec::new("sl-pos").with("w", W_DEFAULT),
+            )
+            .shares(&two_miner(a))
+            .log(HORIZON, 4)
+            .build()
+        })
+        .collect();
+    specs.extend(W_VALUES.iter().map(|&w| {
+        ScenarioSpec::builder(
+            format!("fig4 (b) sl-pos w={w}"),
+            ProtocolSpec::new("sl-pos").with("w", w),
+        )
+        .shares(&two_miner(A_DEFAULT))
+        .log(HORIZON, 4)
+        .build()
+    }));
+    specs
+}
 
 /// Figure 4: SL-PoS mean reward proportion. (a) varying initial share
 /// `a ∈ {0.1..0.5}` at `w = 0.01`; (b) varying block reward
@@ -18,8 +50,7 @@ const W_VALUES: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
 /// checkpoints.
 pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
     let opts = ctx.opts;
-    let horizon = 100_000;
-    let checkpoints = log_checkpoints(horizon, 4);
+    let checkpoints = log_checkpoints(HORIZON, 4);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -27,34 +58,27 @@ pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
         opts.repetitions
     );
 
-    // Both sweeps drain from the shared pool at once: 5 share points, then
-    // 4 reward points. (a=0.2, w=0.01) appears in both and is cached.
-    let all: Vec<Arc<EnsembleSummary>> = ctx.pool.par_map(A_VALUES.len() + W_VALUES.len(), |k| {
-        if k < A_VALUES.len() {
-            let shares = two_miner(A_VALUES[k]);
-            ctx.ensemble(&SlPos::new(W_DEFAULT), &shares, &checkpoints)
-        } else {
-            let shares = two_miner(A_DEFAULT);
-            let w = W_VALUES[k - A_VALUES.len()];
-            ctx.ensemble(&SlPos::new(w), &shares, &checkpoints)
+    let all = run_scenarios(ctx, &fig4_specs())?;
+    let (outcomes_a, outcomes_w) = all.split_at(A_VALUES.len());
+
+    let mean_rows = |outcomes: &[ScenarioOutcome]| {
+        let mut rows = Vec::new();
+        for (ci, &n) in checkpoints.iter().enumerate() {
+            let mut row = vec![n as f64];
+            for o in outcomes {
+                row.push(o.summary.points[ci].mean);
+            }
+            rows.push(row);
         }
-    });
-    let (summaries_a, summaries_w) = all.split_at(A_VALUES.len());
+        rows
+    };
 
     // (a) share sweep.
-    let mut rows = Vec::new();
-    for (ci, &n) in checkpoints.iter().enumerate() {
-        let mut row = vec![n as f64];
-        for s in summaries_a {
-            row.push(s.points[ci].mean);
-        }
-        rows.push(row);
-    }
     let path_a = write_csv(
         &opts.results_dir,
         "fig4a_slpos_mean_by_share",
         &["n", "a0.1", "a0.2", "a0.3", "a0.4", "a0.5"],
-        &rows,
+        &mean_rows(outcomes_a),
     )?;
     let _ = writeln!(
         out,
@@ -62,9 +86,10 @@ pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
         path_a.display()
     );
     let mut t = TextTable::new(vec!["a", "mean@100", "mean@10^4", "mean@10^5"]);
-    for (i, s) in summaries_a.iter().enumerate() {
+    for (i, o) in outcomes_a.iter().enumerate() {
         let at = |n: u64| {
-            s.points
+            o.summary
+                .points
                 .iter()
                 .find(|p| p.n >= n)
                 .map_or(f64::NAN, |p| p.mean)
@@ -83,19 +108,11 @@ pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
     );
 
     // (b) reward sweep.
-    let mut rows = Vec::new();
-    for (ci, &n) in checkpoints.iter().enumerate() {
-        let mut row = vec![n as f64];
-        for s in summaries_w {
-            row.push(s.points[ci].mean);
-        }
-        rows.push(row);
-    }
     let path_b = write_csv(
         &opts.results_dir,
         "fig4b_slpos_mean_by_reward",
         &["n", "w1e-4", "w1e-3", "w1e-2", "w1e-1"],
-        &rows,
+        &mean_rows(outcomes_w),
     )?;
     let _ = writeln!(
         out,
@@ -103,9 +120,10 @@ pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
         path_b.display()
     );
     let mut t = TextTable::new(vec!["w", "mean@100", "mean@10^4", "mean@10^5"]);
-    for (i, s) in summaries_w.iter().enumerate() {
+    for (i, o) in outcomes_w.iter().enumerate() {
         let at = |n: u64| {
-            s.points
+            o.summary
+                .points
                 .iter()
                 .find(|p| p.n >= n)
                 .map_or(f64::NAN, |p| p.mean)

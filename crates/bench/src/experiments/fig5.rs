@@ -3,26 +3,80 @@
 use super::common::{A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, write_csv, TextTable};
-use fairness_core::montecarlo::EnsembleSummary;
-use fairness_core::prelude::*;
+use crate::runner::{run_scenarios, ScenarioOutcome};
+use fairness_core::fairness::EpsilonDelta;
+use fairness_core::miner::two_miner;
+use fairness_core::scenario::{ProtocolSpec, ScenarioSpec};
+use fairness_core::theory;
+use fairness_core::trajectory::linear_checkpoints;
 use std::fmt::Write as _;
 use std::io;
-use std::sync::Arc;
 
 const W_VALUES: [f64; 4] = [1e-4, 1e-3, 1e-2, 1e-1];
 const V_VALUES: [f64; 3] = [0.0, 0.01, 0.1];
+const LONG_HORIZON: u64 = 5000;
+const SHORT_HORIZON: u64 = 1000;
+
+/// Figure 5 as data — all 15 sweep points: 4 ML-PoS + 4 SL-PoS +
+/// 4 C-PoS(`w`) + 3 C-PoS(`v`). Panel (a)'s `w = 0.01` point is Figure
+/// 2(b)/3(b), and panels (c)/(d) meet at the paper-default C-PoS — all
+/// collapsed by the sweep cache.
+#[must_use]
+pub fn fig5_specs() -> Vec<ScenarioSpec> {
+    let shares = two_miner(A_DEFAULT);
+    let mut specs: Vec<ScenarioSpec> = W_VALUES
+        .iter()
+        .map(|&w| {
+            ScenarioSpec::builder(
+                format!("fig5 (a) ml-pos w={w}"),
+                ProtocolSpec::new("ml-pos").with("w", w),
+            )
+            .shares(&shares)
+            .linear(LONG_HORIZON, 25)
+            .build()
+        })
+        .collect();
+    specs.extend(W_VALUES.iter().map(|&w| {
+        ScenarioSpec::builder(
+            format!("fig5 (b) sl-pos w={w}"),
+            ProtocolSpec::new("sl-pos").with("w", w),
+        )
+        .shares(&shares)
+        .linear(SHORT_HORIZON, 25)
+        .build()
+    }));
+    specs.extend(W_VALUES.iter().map(|&w| {
+        ScenarioSpec::builder(
+            format!("fig5 (c) c-pos w={w}"),
+            ProtocolSpec::new("c-pos")
+                .with("w", w)
+                .with("v", V_DEFAULT)
+                .with("shards", f64::from(P_EFF)),
+        )
+        .shares(&shares)
+        .linear(LONG_HORIZON, 25)
+        .build()
+    }));
+    specs.extend(V_VALUES.iter().map(|&v| {
+        ScenarioSpec::builder(
+            format!("fig5 (d) c-pos v={v}"),
+            ProtocolSpec::new("c-pos")
+                .with("w", W_DEFAULT)
+                .with("v", v)
+                .with("shards", f64::from(P_EFF)),
+        )
+        .shares(&shares)
+        .linear(LONG_HORIZON, 25)
+        .build()
+    }));
+    specs
+}
 
 /// Figure 5: unfair probabilities under `a = 0.2` for (a) ML-PoS across `w`;
 /// (b) SL-PoS across `w`; (c) C-PoS across `w` at `v = 0.1`; (d) C-PoS
 /// across `v` at `w = 0.01`.
-///
-/// The shared sweep cache removes the overlap this figure used to
-/// recompute: panel (a)'s `w = 0.01` point is Figure 2(b)/Figure 3(b), and
-/// panels (c) and (d) meet at the paper-default C-PoS `(w, v) = (0.01,
-/// 0.1)`, which is also Figure 2(d)/Figure 3(d).
 pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
     let opts = ctx.opts;
-    let shares = two_miner(A_DEFAULT);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -30,36 +84,20 @@ pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
         opts.repetitions
     );
 
-    let long_checkpoints = linear_checkpoints(5000, 25);
-    let short_checkpoints = linear_checkpoints(1000, 25);
+    let long_checkpoints = linear_checkpoints(LONG_HORIZON, 25);
+    let short_checkpoints = linear_checkpoints(SHORT_HORIZON, 25);
 
-    // Flatten all 15 sweep points: 4 ML-PoS + 4 SL-PoS + 4 C-PoS(w) +
-    // 3 C-PoS(v), so independent points drain from the shared pool at once.
-    let all: Vec<Arc<EnsembleSummary>> =
-        ctx.pool.par_map(3 * W_VALUES.len() + V_VALUES.len(), |k| {
-            if k < W_VALUES.len() {
-                ctx.ensemble(&MlPos::new(W_VALUES[k]), &shares, &long_checkpoints)
-            } else if k < 2 * W_VALUES.len() {
-                let w = W_VALUES[k - W_VALUES.len()];
-                ctx.ensemble(&SlPos::new(w), &shares, &short_checkpoints)
-            } else if k < 3 * W_VALUES.len() {
-                let w = W_VALUES[k - 2 * W_VALUES.len()];
-                ctx.ensemble(&CPos::new(w, V_DEFAULT, P_EFF), &shares, &long_checkpoints)
-            } else {
-                let v = V_VALUES[k - 3 * W_VALUES.len()];
-                ctx.ensemble(&CPos::new(W_DEFAULT, v, P_EFF), &shares, &long_checkpoints)
-            }
-        });
+    let all = run_scenarios(ctx, &fig5_specs())?;
     let (ml, rest) = all.split_at(W_VALUES.len());
     let (sl, rest) = rest.split_at(W_VALUES.len());
     let (cpos_w, cpos_v) = rest.split_at(W_VALUES.len());
 
-    let unfair_rows = |summaries: &[Arc<EnsembleSummary>], checkpoints: &[u64]| {
+    let unfair_rows = |outcomes: &[ScenarioOutcome], checkpoints: &[u64]| {
         let mut rows = Vec::new();
         for (ci, &n) in checkpoints.iter().enumerate() {
             let mut row = vec![n as f64];
-            for s in summaries {
-                row.push(s.points[ci].unfair_probability);
+            for o in outcomes {
+                row.push(o.summary.points[ci].unfair_probability);
             }
             rows.push(row);
         }
@@ -68,7 +106,7 @@ pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
 
     // (a) ML-PoS w sweep, with the Beta-limit theory overlay.
     {
-        let horizon = 5000;
+        let horizon = LONG_HORIZON;
         let path = write_csv(
             &opts.results_dir,
             "fig5a_mlpos_unfair_by_reward",
@@ -82,11 +120,11 @@ pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
             "Beta-limit unfair",
             "Thm 4.3 satisfied",
         ]);
-        for (i, s) in ml.iter().enumerate() {
+        for (i, o) in ml.iter().enumerate() {
             let w = W_VALUES[i];
             t.row(vec![
                 format!("{w:.0e}"),
-                fmt4(s.final_point().unfair_probability),
+                fmt4(o.summary.final_point().unfair_probability),
                 fmt4(theory::mlpos::limit_unfair_probability(A_DEFAULT, w, 0.1)),
                 format!(
                     "{}",
@@ -112,9 +150,10 @@ pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
         )?;
         let _ = writeln!(out, "\n(b) SL-PoS by w  csv: {}", path.display());
         let mut t = TextTable::new(vec!["w", "unfair@40", "unfair@200", "unfair@1000"]);
-        for (i, s) in sl.iter().enumerate() {
+        for (i, o) in sl.iter().enumerate() {
             let at = |n: u64| {
-                s.points
+                o.summary
+                    .points
                     .iter()
                     .find(|p| p.n >= n)
                     .map_or(f64::NAN, |p| p.unfair_probability)
@@ -147,10 +186,10 @@ pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
             "unfair@5000 (C-PoS)",
             "unfair@5000 (ML-PoS limit)",
         ]);
-        for (i, s) in cpos_w.iter().enumerate() {
+        for (i, o) in cpos_w.iter().enumerate() {
             t.row(vec![
                 format!("{:.0e}", W_VALUES[i]),
-                fmt4(s.final_point().unfair_probability),
+                fmt4(o.summary.final_point().unfair_probability),
                 fmt4(theory::mlpos::limit_unfair_probability(
                     A_DEFAULT,
                     W_VALUES[i],
@@ -176,10 +215,10 @@ pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
         let _ = writeln!(out, "\n(d) C-PoS by v (w=0.01)  csv: {}", path.display());
         let mut t = TextTable::new(vec!["v", "unfair@5000", "paper reports"]);
         let paper = ["~0.70", "~0.50", "~0.10"];
-        for (i, s) in cpos_v.iter().enumerate() {
+        for (i, o) in cpos_v.iter().enumerate() {
             t.row(vec![
                 format!("{}", V_VALUES[i]),
-                fmt4(s.final_point().unfair_probability),
+                fmt4(o.summary.final_point().unfair_probability),
                 paper[i].to_owned(),
             ]);
         }

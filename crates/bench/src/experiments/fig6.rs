@@ -3,43 +3,52 @@
 use super::common::{band_rows, render_band_table, A_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, write_csv};
-use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
-use fairness_core::montecarlo::{summarize, EnsembleConfig};
-use fairness_core::prelude::*;
-use fairness_stats::mc::{run_monte_carlo, McConfig};
+use crate::runner::run_scenarios;
+use fairness_core::miner::two_miner;
+use fairness_core::scenario::{ProtocolSpec, ScenarioSpec};
 use std::fmt::Write as _;
 use std::io;
+
+/// Figure 6 as data: the FSL-PoS band plain and with the Section 6.3
+/// withholding schedule (effect every 1000 blocks), plus the hash-level
+/// FSL-PoS cross-check on the plain scenario.
+#[must_use]
+pub fn fig6_specs() -> Vec<ScenarioSpec> {
+    let shares = two_miner(A_DEFAULT);
+    let horizon = 5000;
+    vec![
+        ScenarioSpec::builder(
+            "fig6 (a) fsl-pos",
+            ProtocolSpec::new("fsl-pos").with("w", W_DEFAULT),
+        )
+        .shares(&shares)
+        .linear(horizon, 25)
+        .system("fsl-pos", 1500, 0xC2)
+        .build(),
+        ScenarioSpec::builder(
+            "fig6 (b) fsl-pos withholding",
+            ProtocolSpec::new("fsl-pos").with("w", W_DEFAULT),
+        )
+        .shares(&shares)
+        .linear(horizon, 25)
+        .withholding(1000)
+        .build(),
+    ]
+}
 
 /// Figure 6: the treatments. (a) FSL-PoS restores expectational fairness
 /// but not robust fairness; (b) FSL-PoS + reward withholding (effect every
 /// 1000 blocks) pulls nearly all mass into the fair area.
 pub fn fig6(ctx: &ExperimentContext) -> io::Result<String> {
     let opts = ctx.opts;
-    let horizon = 5000;
-    let checkpoints = linear_checkpoints(horizon, 25);
-    let shares = two_miner(A_DEFAULT);
+    let outcomes = run_scenarios(ctx, &fig6_specs())?;
+    let (plain, withheld) = (&outcomes[0].summary, &outcomes[1].summary);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "Figure 6 — FSL-PoS treatment (a=0.2, w=0.01), {} repetitions",
         opts.repetitions
     );
-
-    let pair = ctx.pool.par_map(2, |i| {
-        let withholding = if i == 0 {
-            None
-        } else {
-            Some(WithholdingSchedule::every(1000))
-        };
-        ctx.ensemble_with(
-            &FslPos::new(W_DEFAULT),
-            &shares,
-            &checkpoints,
-            opts.repetitions,
-            withholding,
-        )
-    });
-    let (plain, withheld) = (&pair[0], &pair[1]);
 
     for (label, summary, name) in [
         ("(a) FSL-PoS", plain, "fig6a_fslpos"),
@@ -65,26 +74,12 @@ pub fn fig6(ctx: &ExperimentContext) -> io::Result<String> {
         fmt4(withheld.final_point().unfair_probability),
     );
 
-    if opts.with_system {
-        let config = ExperimentConfig::two_miner(ProtocolKind::FslPos, A_DEFAULT, W_DEFAULT, 1500);
-        let trajectories = run_monte_carlo(
-            McConfig::new(opts.system_repetitions, opts.seed ^ 0xC2),
-            |_i, rng| run_experiment(&config, rng).lambda_series,
-        );
-        let ec = EnsembleConfig {
-            initial_shares: shares,
-            checkpoints: config.checkpoints.clone(),
-            repetitions: opts.system_repetitions,
-            seed: opts.seed ^ 0xC2,
-            eps_delta: EpsilonDelta::default(),
-            withholding: None,
-        };
-        let summary = summarize("FSL-PoS", &ec, &trajectories);
+    if let Some(summary) = &outcomes[0].system {
         let path = write_csv(
             &opts.results_dir,
             "fig6_system_fslpos",
             &["n", "mean", "p05", "p95", "unfair"],
-            &band_rows(&summary),
+            &band_rows(summary),
         )?;
         let last = summary.final_point();
         let _ = writeln!(
@@ -105,6 +100,8 @@ mod tests {
     use super::super::testutil::tiny_opts;
     use super::super::Harness;
     use super::*;
+    use fairness_core::prelude::*;
+    use fairness_core::trajectory::linear_checkpoints;
 
     #[test]
     fn fig6_withholding_improves() {

@@ -27,6 +27,7 @@ mod ablations;
 mod adversarial;
 pub mod cache;
 pub mod common;
+mod diskcache;
 mod extensions;
 mod fig1;
 mod fig2;
@@ -113,11 +114,16 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Builds the harness: the sweep cache is seeded from `opts.seed` and
+    /// Builds the harness: the sweep cache is seeded from `opts.seed`
+    /// (spilling to `<results_dir>/.cache` unless `--no-disk-cache`) and
     /// the pool sized from `opts.jobs`.
     #[must_use]
     pub fn new(opts: ReproOptions) -> Self {
-        let cache = SweepCache::new(opts.seed);
+        let cache = if opts.disk_cache {
+            SweepCache::with_disk(opts.seed, opts.results_dir.join(".cache"))
+        } else {
+            SweepCache::new(opts.seed)
+        };
         let pool = JobPool::new(opts.jobs);
         Self { opts, cache, pool }
     }
@@ -306,6 +312,8 @@ pub(crate) mod testutil {
             with_system: false,
             jobs: 1,
             max_miners: 10,
+            // Unit tests stay hermetic: no cross-run disk state.
+            disk_cache: false,
         }
     }
 }

@@ -3,6 +3,7 @@
 use super::common::{convergence_grid, A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
 use super::ExperimentContext;
 use crate::report::{fmt4, fmt_convergence, write_csv, TextTable};
+use crate::runner::run_scenarios;
 use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
 use fairness_core::prelude::*;
 use fairness_stats::mc::{run_monte_carlo, McConfig};
@@ -15,7 +16,8 @@ const PROTOCOLS: [&str; 4] = ["PoW", "ML-PoS", "SL-PoS", "C-PoS"];
 /// `{2, 3, 4, 5}`, then multiples of 5 up to the cap. The default cap of
 /// 10 reproduces the paper's `{2, 3, 4, 5, 10}` exactly; 20 extends it to
 /// `{2, 3, 4, 5, 10, 15, 20}` (the regime the paper's hardware budget cut
-/// off).
+/// off), and 40 pushes into the scale regime where Sakurai & Shudo
+/// (arXiv:2506.13360) report the fairness conclusions change.
 ///
 /// # Panics
 /// Panics if `max_miners < 2`.
@@ -30,6 +32,55 @@ pub fn miner_counts(max_miners: usize) -> Vec<usize> {
     counts
 }
 
+/// The Table-1 grid as data: for every swept miner count, one scenario per
+/// protocol, with the per-protocol horizons and repetition caps the table
+/// always used. `repetitions` is the run's default (`--reps`).
+#[must_use]
+pub fn table1_specs(max_miners: usize, repetitions: usize) -> Vec<ScenarioSpec> {
+    let counts = miner_counts(max_miners);
+    (0..counts.len() * PROTOCOLS.len())
+        .map(|k| {
+            let m = counts[k / PROTOCOLS.len()];
+            let protocol = PROTOCOLS[k % PROTOCOLS.len()];
+            let shares = paper_multi_miner(m, A_DEFAULT);
+            let builder = match protocol {
+                // PoW: horizon past the ~1100-block convergence point.
+                "PoW" => ScenarioSpec::builder(
+                    format!("table1 m={m} pow"),
+                    ProtocolSpec::new("pow").with("w", W_DEFAULT),
+                )
+                .explicit(convergence_grid(3000)),
+                // ML-PoS: plateaus; horizon 5000.
+                "ML-PoS" => ScenarioSpec::builder(
+                    format!("table1 m={m} ml-pos"),
+                    ProtocolSpec::new("ml-pos").with("w", W_DEFAULT),
+                )
+                .explicit(convergence_grid(5000)),
+                // SL-PoS: long horizon to expose monopolization (the m=10
+                // row's λ_A → 1 needs ~10⁵ blocks); repetitions capped
+                // since the means and unfair probabilities here only need
+                // two decimals.
+                "SL-PoS" => ScenarioSpec::builder(
+                    format!("table1 m={m} sl-pos"),
+                    ProtocolSpec::new("sl-pos").with("w", W_DEFAULT),
+                )
+                .log(100_000, 4)
+                .repetitions(repetitions.min(2000)),
+                // C-PoS: converges quickly.
+                _ => ScenarioSpec::builder(
+                    format!("table1 m={m} c-pos"),
+                    ProtocolSpec::new("c-pos")
+                        .with("w", W_DEFAULT)
+                        .with("v", V_DEFAULT)
+                        .with("shards", f64::from(P_EFF)),
+                )
+                .explicit(convergence_grid(2000)),
+            };
+            builder.shares(&shares).build()
+        })
+        .collect()
+}
+
 struct Row {
     protocol: &'static str,
     m: usize,
@@ -38,10 +89,56 @@ struct Row {
     cvg: Option<u64>,
 }
 
+/// Estimates the SL-PoS monopolization threshold for an `m`-miner game:
+/// the smallest initial share `a*` (to `2⁻⁷` precision by bisection) at
+/// which the tracked miner's mean final reward proportion exceeds one
+/// half — i.e. she wins the winner-take-all dynamics more often than not
+/// against `m − 1` equal opponents. Every probed ensemble goes through the
+/// sweep cache, so the bisection path is deterministic, memoized and
+/// byte-stable for any `--jobs`.
+///
+/// Sakurai & Shudo (arXiv:2506.13360) observe that fairness conclusions
+/// are scale-dependent; here the long-horizon threshold tracks `1/m` (the
+/// share that makes her the largest miner) rather than a fixed constant —
+/// the "rich get richer" cutoff moves with the miner count.
+#[must_use]
+pub fn monopolization_threshold(
+    ctx: &ExperimentContext,
+    m: usize,
+    horizon: u64,
+    repetitions: usize,
+) -> f64 {
+    assert!(m >= 2, "need at least two miners");
+    let monopolizes = |a: f64| {
+        let mut shares = vec![a];
+        shares.extend(std::iter::repeat_n((1.0 - a) / (m as f64 - 1.0), m - 1));
+        let summary = ctx.cache.ensemble(
+            &SlPos::new(W_DEFAULT),
+            &shares,
+            &[horizon],
+            repetitions,
+            None,
+        );
+        summary.final_point().mean > 0.5
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..7 {
+        let mid = (lo + hi) / 2.0;
+        if monopolizes(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
 /// Table 1: the multi-miner game. Miner A holds 20%, the other `m − 1`
 /// miners split 80% equally, for `m ∈` [`miner_counts`]`(--max-miners)`.
 /// Reports the average of `λ_A`, the unfair probability, and the
-/// convergence time for all four protocols. With `--system`, a hash-level
+/// convergence time for all four protocols, plus the SL-PoS
+/// monopolization threshold per miner count
+/// (`monopolization_threshold_vs_n.csv`). With `--system`, a hash-level
 /// multi-miner network cross-checks the closed-form mean.
 pub fn table1(ctx: &ExperimentContext) -> io::Result<String> {
     let opts = ctx.opts;
@@ -54,48 +151,22 @@ pub fn table1(ctx: &ExperimentContext) -> io::Result<String> {
         opts.repetitions, opts.max_miners
     );
 
-    // All (miner count, protocol) cells are independent: drain them from
-    // the shared pool at once. Work-stealing absorbs the wildly uneven
-    // cell costs (SL-PoS runs to 10⁵ blocks, C-PoS only to 2·10³).
-    let rows: Vec<Row> = ctx.pool.par_map(counts.len() * PROTOCOLS.len(), |k| {
-        let m = counts[k / PROTOCOLS.len()];
-        let protocol = PROTOCOLS[k % PROTOCOLS.len()];
-        let shares = paper_multi_miner(m, A_DEFAULT);
-        let summary = match protocol {
-            // PoW: horizon past the ~1100-block convergence point.
-            "PoW" => ctx.ensemble(
-                &Pow::new(&shares, W_DEFAULT),
-                &shares,
-                &convergence_grid(3000),
-            ),
-            // ML-PoS: plateaus; horizon 5000.
-            "ML-PoS" => ctx.ensemble(&MlPos::new(W_DEFAULT), &shares, &convergence_grid(5000)),
-            // SL-PoS: long horizon to expose monopolization (the m=10
-            // row's λ_A → 1 needs ~10⁵ blocks); repetitions capped since
-            // the means and unfair probabilities here only need two
-            // decimals.
-            "SL-PoS" => ctx.ensemble_with(
-                &SlPos::new(W_DEFAULT),
-                &shares,
-                &log_checkpoints(100_000, 4),
-                opts.repetitions.min(2000),
-                None,
-            ),
-            // C-PoS: converges quickly.
-            _ => ctx.ensemble(
-                &CPos::new(W_DEFAULT, V_DEFAULT, P_EFF),
-                &shares,
-                &convergence_grid(2000),
-            ),
-        };
-        Row {
-            protocol,
-            m,
-            mean: summary.final_point().mean,
-            unfair: summary.final_point().unfair_probability,
-            cvg: summary.convergence_time(ed),
-        }
-    });
+    // All (miner count, protocol) cells are independent specs: the runner
+    // drains them from the shared pool at once. Work-stealing absorbs the
+    // wildly uneven cell costs (SL-PoS runs to 10⁵ blocks, C-PoS only to
+    // 2·10³).
+    let outcomes = run_scenarios(ctx, &table1_specs(opts.max_miners, opts.repetitions))?;
+    let rows: Vec<Row> = outcomes
+        .iter()
+        .enumerate()
+        .map(|(k, o)| Row {
+            protocol: PROTOCOLS[k % PROTOCOLS.len()],
+            m: counts[k / PROTOCOLS.len()],
+            mean: o.summary.final_point().mean,
+            unfair: o.summary.final_point().unfair_probability,
+            cvg: o.summary.convergence_time(ed),
+        })
+        .collect();
 
     for metric in ["Avg. of λ_A", "Unfair Prob.", "Cvg. Time"] {
         let _ = writeln!(out, "\n{metric}:");
@@ -161,6 +232,42 @@ pub fn table1(ctx: &ExperimentContext) -> io::Result<String> {
         "ML-PoS and SL-PoS never converge; PoW converges ~10³; C-PoS converges ~10²."
     );
 
+    // SL-PoS monopolization threshold vs miner count (Sakurai & Shudo
+    // scale-dependence): bisect the smallest tracked-miner share that wins
+    // the winner-take-all game against m − 1 equal opponents.
+    {
+        let horizon = 50_000;
+        let reps = opts.repetitions.min(200);
+        let thresholds = ctx.pool.par_map(counts.len(), |i| {
+            monopolization_threshold(ctx, counts[i], horizon, reps)
+        });
+        let mut t = TextTable::new(vec!["Miners", "threshold a*", "equal-largest 1/m"]);
+        let mut rows = Vec::new();
+        for (&m, &a_star) in counts.iter().zip(&thresholds) {
+            t.row(vec![
+                format!("{m} Miners"),
+                fmt4(a_star),
+                fmt4(1.0 / m as f64),
+            ]);
+            rows.push(vec![m as f64, a_star, 1.0 / m as f64]);
+        }
+        let path = write_csv(
+            &opts.results_dir,
+            "monopolization_threshold_vs_n",
+            &["miners", "threshold_share", "one_over_m"],
+            &rows,
+        )?;
+        let _ = writeln!(
+            out,
+            "\nSL-PoS monopolization threshold vs miner count ({horizon} blocks, {reps} reps,\n\
+             bisection to 2^-7): the share a* above which miner A's mean λ exceeds 1/2. The\n\
+             threshold tracks 1/m, not a constant — the fairness verdict is scale-dependent\n\
+             (Sakurai & Shudo, arXiv:2506.13360).  csv: {}",
+            path.display()
+        );
+        out.push_str(&t.render());
+    }
+
     if opts.with_system {
         // Hash-level cross-check of the multi-miner game: an ML-PoS
         // network with A at 0.2 and the rest split equally must keep A's
@@ -213,12 +320,17 @@ mod tests {
         assert!(out.contains("Avg. of λ_A"));
         assert!(out.contains("Cvg. Time"));
         assert!(out.contains("10 Miners"));
+        assert!(out.contains("monopolization threshold"));
     }
 
     #[test]
     fn miner_counts_match_paper_and_extend() {
         assert_eq!(miner_counts(10), vec![2, 3, 4, 5, 10]);
         assert_eq!(miner_counts(20), vec![2, 3, 4, 5, 10, 15, 20]);
+        assert_eq!(
+            miner_counts(40),
+            vec![2, 3, 4, 5, 10, 15, 20, 25, 30, 35, 40]
+        );
         assert_eq!(miner_counts(4), vec![2, 3, 4]);
         assert_eq!(miner_counts(12), vec![2, 3, 4, 5, 10]);
         assert_eq!(miner_counts(2), vec![2]);
@@ -228,5 +340,38 @@ mod tests {
     #[should_panic(expected = "at least two")]
     fn miner_counts_rejects_one() {
         let _ = miner_counts(1);
+    }
+
+    #[test]
+    fn specs_cover_the_grid() {
+        let specs = table1_specs(20, 10_000);
+        assert_eq!(specs.len(), 7 * 4);
+        // SL-PoS cells cap their repetitions; the others inherit --reps.
+        let capped = specs.iter().filter(|s| s.repetitions == Some(2000)).count();
+        assert_eq!(capped, 7);
+        assert!(specs
+            .iter()
+            .all(|s| s.repetitions.is_none() || s.repetitions == Some(2000)));
+    }
+
+    #[test]
+    fn monopolization_threshold_tracks_one_over_m_at_forty_miners() {
+        // The --max-miners 40 regime, at test scale: a *long-horizon*
+        // SL-PoS game with 40 miners is monopolized by whoever is largest,
+        // so the threshold collapses toward 1/m — far below one half. The
+        // bisection itself is exercised end-to-end.
+        let h = Harness::new(tiny_opts("table1-m40"));
+        let ctx = h.ctx();
+        let t40 = monopolization_threshold(&ctx, 40, 30_000, 24);
+        assert!(
+            t40 < 0.2,
+            "40-miner threshold should sit near 1/40, got {t40}"
+        );
+        let t2 = monopolization_threshold(&ctx, 2, 30_000, 24);
+        assert!(
+            (t2 - 0.5).abs() < 0.1,
+            "two-miner threshold should sit near 1/2, got {t2}"
+        );
+        assert!(t40 < t2, "threshold must fall with scale");
     }
 }

@@ -175,6 +175,119 @@ pub fn gate(
     GateOutcome { report, failed }
 }
 
+// ---------------------------------------------------------------------------
+// Timing history (`BENCH_history.jsonl`).
+// ---------------------------------------------------------------------------
+
+/// One appended history line: a [`TimingRecord`] stamped with the run's
+/// unix time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Unix seconds when the run's timings were appended.
+    pub ts: u64,
+    /// The timing record itself.
+    pub record: TimingRecord,
+}
+
+/// Renders the JSONL lines appended for one run: one flat object per
+/// target, schema `{ts, target, seconds, reps}`.
+#[must_use]
+pub fn history_lines(ts: u64, fresh: &[TimingRecord]) -> String {
+    let mut out = String::new();
+    for f in fresh {
+        let _ = writeln!(
+            out,
+            "{{\"ts\": {ts}, \"target\": \"{}\", \"seconds\": {:.3}, \"reps\": {}}}",
+            f.target, f.seconds, f.reps
+        );
+    }
+    out
+}
+
+/// Parses a `BENCH_history.jsonl` document. Corruption-tolerant by design:
+/// malformed lines are skipped (a truncated append from a killed CI run
+/// must not wedge every later run), so this never fails — worst case it
+/// returns an empty history.
+#[must_use]
+pub fn parse_history(text: &str) -> Vec<HistoryRecord> {
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let field = |name: &str| -> Option<&str> {
+            let key = format!("\"{name}\":");
+            let start = line.find(&key)? + key.len();
+            Some(
+                line[start..]
+                    .split([',', '}'])
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .trim_matches('"'),
+            )
+        };
+        let parsed = (|| {
+            Some(HistoryRecord {
+                ts: field("ts")?.parse().ok()?,
+                record: TimingRecord {
+                    target: field("target")?.to_owned(),
+                    seconds: field("seconds")?.parse().ok()?,
+                    reps: field("reps")?.parse().ok()?,
+                },
+            })
+        })();
+        if let Some(r) = parsed {
+            records.push(r);
+        }
+    }
+    records
+}
+
+/// Renders the per-target trend over the history (oldest → newest,
+/// trailing window of `window` runs), one line per target of the newest
+/// run. This is the ROADMAP's "history of baselines" view: instead of a
+/// single-snapshot verdict, each target shows its trajectory.
+#[must_use]
+pub fn trend_report(history: &[HistoryRecord], window: usize) -> String {
+    let mut targets: Vec<&str> = Vec::new();
+    for h in history {
+        if !targets.contains(&h.record.target.as_str()) {
+            targets.push(&h.record.target);
+        }
+    }
+    let mut out = String::new();
+    for target in targets {
+        let series: Vec<&HistoryRecord> = history
+            .iter()
+            .filter(|h| h.record.target == target)
+            .collect();
+        let tail = &series[series.len().saturating_sub(window)..];
+        let values: Vec<String> = tail
+            .iter()
+            .map(|h| format!("{:.2}s", h.record.seconds))
+            .collect();
+        let trend = match tail {
+            [.., prev, last] => {
+                let delta = last.record.seconds - prev.record.seconds;
+                if delta.abs() < 0.05 {
+                    "steady".to_owned()
+                } else if delta > 0.0 {
+                    format!("+{delta:.2}s vs previous")
+                } else {
+                    format!("{delta:.2}s vs previous")
+                }
+            }
+            _ => "first recorded run".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "  {:<12} {}  ({trend}, {} run(s) total)",
+            target,
+            values.join(" → "),
+            series.len()
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,6 +431,58 @@ mod tests {
         let out = gate(&baseline, &fresh, 0.25, 0.5);
         assert!(out.report.contains("n/a"), "{}", out.report);
         assert!(!out.report.contains("NaN"));
+    }
+
+    #[test]
+    fn history_lines_round_trip() {
+        let fresh = vec![record("fig1", 0.5, 100), record("table1", 2.0, 100)];
+        let text = history_lines(1_700_000_000, &fresh);
+        let parsed = parse_history(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].ts, 1_700_000_000);
+        assert_eq!(parsed[0].record.target, "fig1");
+        assert!((parsed[1].record.seconds - 2.0).abs() < 1e-9);
+        assert_eq!(parsed[1].record.reps, 100);
+    }
+
+    #[test]
+    fn history_parsing_skips_corrupt_lines() {
+        let mut text = history_lines(1, &[record("fig1", 0.5, 100)]);
+        text.push_str("garbage line\n");
+        text.push_str("{\"ts\": 2, \"target\": \"fig1\", \"seconds\": \"zzz\", \"reps\": 100}\n");
+        text.push_str(&history_lines(3, &[record("fig1", 0.6, 100)]));
+        let parsed = parse_history(&text);
+        assert_eq!(parsed.len(), 2, "only well-formed lines survive");
+        assert_eq!(parsed[0].ts, 1);
+        assert_eq!(parsed[1].ts, 3);
+        assert!(parse_history("").is_empty());
+    }
+
+    #[test]
+    fn trend_report_shows_trailing_window_per_target() {
+        let mut history = Vec::new();
+        for (i, s) in [1.0, 1.1, 1.05, 2.0].iter().enumerate() {
+            history.extend(parse_history(&history_lines(
+                i as u64,
+                &[record("fig2", *s, 100)],
+            )));
+            history.extend(parse_history(&history_lines(
+                i as u64,
+                &[record("fig4", 0.5, 100)],
+            )));
+        }
+        let report = trend_report(&history, 3);
+        assert!(report.contains("fig2"), "{report}");
+        assert!(
+            report.contains("1.10s → 1.05s → 2.00s"),
+            "trailing window of 3: {report}"
+        );
+        assert!(report.contains("+0.95s vs previous"), "{report}");
+        assert!(report.contains("steady"), "fig4 is flat: {report}");
+        assert!(report.contains("4 run(s) total"), "{report}");
+        // A single run reports as such.
+        let first = trend_report(&parse_history(&history_lines(9, &[record("x", 1.0, 1)])), 5);
+        assert!(first.contains("first recorded run"), "{first}");
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod experiments;
 pub mod gate;
 pub mod pool;
 pub mod report;
+pub mod runner;
 pub mod schedule;
 
 use std::path::PathBuf;
@@ -59,6 +60,10 @@ pub struct ReproOptions {
     pub jobs: usize,
     /// Largest miner count swept by Table 1 (`--max-miners`; paper: 10).
     pub max_miners: usize,
+    /// Persist computed ensembles under `<results_dir>/.cache` so repeated
+    /// invocations reuse them (`--no-disk-cache` opts out). Never affects
+    /// results — the spill round-trips bit-exactly.
+    pub disk_cache: bool,
 }
 
 impl Default for ReproOptions {
@@ -71,6 +76,7 @@ impl Default for ReproOptions {
             with_system: true,
             jobs: 0,
             max_miners: 10,
+            disk_cache: true,
         }
     }
 }

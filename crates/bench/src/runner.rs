@@ -1,0 +1,440 @@
+//! Executing declarative scenarios over the shared pool and sweep cache.
+//!
+//! [`run_scenarios`] is the inversion point of the bench layer: every
+//! figure module emits `Vec<ScenarioSpec>` and formats the outcomes, and
+//! user-authored `.scn` files run through exactly the same path (`repro
+//! scenario <file>`). Protocols are constructed via
+//! [`fairness_core::registry`], ensembles are memoized in the
+//! content-addressed [`crate::experiments::SweepCache`] (in-memory and,
+//! by default, on disk), and sweep points drain from the shared
+//! [`crate::pool::JobPool`] — so any spec run is bit-identical for every
+//! `--jobs` level, exactly like the built-in figures.
+
+use crate::experiments::common::band_rows;
+use crate::experiments::ExperimentContext;
+use crate::report::{fmt4, write_csv, TextTable};
+use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
+use fairness_core::fairness::EpsilonDelta;
+use fairness_core::montecarlo::{summarize, EnsembleConfig, EnsembleSummary};
+use fairness_core::protocol::IncentiveProtocol;
+use fairness_core::registry;
+use fairness_core::scenario::ScenarioSpec;
+use fairness_core::withholding::WithholdingSchedule;
+use fairness_stats::mc::{run_monte_carlo, McConfig};
+use std::fmt;
+use std::fmt::Write as _;
+use std::io;
+use std::sync::Arc;
+
+/// Why a scenario batch could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A spec failed [`ScenarioSpec::validate`].
+    Invalid {
+        /// The offending scenario's name.
+        scenario: String,
+        /// The violated invariant.
+        message: String,
+    },
+    /// The registry rejected a protocol description.
+    Registry {
+        /// The offending scenario's name.
+        scenario: String,
+        /// The construction error.
+        error: registry::RegistryError,
+    },
+    /// A `system` cross-check names an engine `chain-sim` does not have.
+    UnknownEngine {
+        /// The offending scenario's name.
+        scenario: String,
+        /// The unknown engine name.
+        engine: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Invalid { scenario, message } => {
+                write!(f, "scenario \"{scenario}\": {message}")
+            }
+            ScenarioError::Registry { scenario, error } => {
+                write!(f, "scenario \"{scenario}\": {error}")
+            }
+            ScenarioError::UnknownEngine { scenario, engine } => write!(
+                f,
+                "scenario \"{scenario}\": unknown system engine `{engine}` \
+                 (expected pow, ml-pos, sl-pos, fsl-pos or c-pos)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ScenarioError> for io::Error {
+    fn from(e: ScenarioError) -> Self {
+        io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+    }
+}
+
+/// The result of one executed scenario.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The constructed protocol's display label (`selfish-mining(PoW)`).
+    pub label: String,
+    /// The memoized closed-form ensemble.
+    pub summary: Arc<EnsembleSummary>,
+    /// The hash-level cross-check, when the spec requested one and the
+    /// run has `--system` enabled.
+    pub system: Option<EnsembleSummary>,
+}
+
+/// Registry-style engine names accepted by [`SystemSpec::engine`]
+/// (`fairness_core::scenario::SystemSpec`).
+const ENGINES: [(ProtocolKind, &str); 5] = [
+    (ProtocolKind::Pow, "pow"),
+    (ProtocolKind::MlPos, "ml-pos"),
+    (ProtocolKind::SlPos, "sl-pos"),
+    (ProtocolKind::FslPos, "fsl-pos"),
+    (ProtocolKind::CPos, "c-pos"),
+];
+
+fn resolve_engine(name: &str) -> Option<ProtocolKind> {
+    ENGINES
+        .iter()
+        .find(|(_, n)| *n == name)
+        .map(|(kind, _)| *kind)
+}
+
+/// One fully resolved scenario, ready to execute.
+struct Resolved {
+    protocol: registry::BoxedProtocol,
+    shares: Vec<f64>,
+    checkpoints: Vec<u64>,
+    repetitions: usize,
+    withholding: Option<WithholdingSchedule>,
+    system: Option<(ProtocolKind, u64, u64)>,
+}
+
+fn resolve(ctx: &ExperimentContext, spec: &ScenarioSpec) -> Result<Resolved, ScenarioError> {
+    spec.validate().map_err(|message| ScenarioError::Invalid {
+        scenario: spec.name.clone(),
+        message,
+    })?;
+    let protocol = registry::construct(&spec.protocol, &spec.initial_shares).map_err(|error| {
+        ScenarioError::Registry {
+            scenario: spec.name.clone(),
+            error,
+        }
+    })?;
+    let system = match &spec.system {
+        None => None,
+        Some(system) => {
+            let kind =
+                resolve_engine(&system.engine).ok_or_else(|| ScenarioError::UnknownEngine {
+                    scenario: spec.name.clone(),
+                    engine: system.engine.clone(),
+                })?;
+            Some((kind, system.horizon, system.salt))
+        }
+    };
+    Ok(Resolved {
+        protocol,
+        shares: spec.initial_shares.clone(),
+        checkpoints: spec.checkpoints.resolve(),
+        repetitions: spec.repetitions.unwrap_or(ctx.opts.repetitions),
+        withholding: spec.withholding.map(WithholdingSchedule::every),
+        system,
+    })
+}
+
+/// Runs a hash-level cross-check exactly the way the figure modules always
+/// have: a two-miner chain-sim network at `--system-reps` scale, seeded by
+/// `master seed ⊕ salt`, summarized over the engine's checkpoint grid.
+fn run_system(
+    ctx: &ExperimentContext,
+    resolved: &Resolved,
+    kind: ProtocolKind,
+    horizon: u64,
+    salt: u64,
+) -> EnsembleSummary {
+    let opts = ctx.opts;
+    let a = resolved.shares[0] / resolved.shares.iter().sum::<f64>();
+    let config = ExperimentConfig::two_miner(kind, a, resolved.protocol.reward_per_step(), horizon);
+    let trajectories = run_monte_carlo(
+        McConfig::new(opts.system_repetitions, opts.seed ^ salt),
+        |_i, rng| run_experiment(&config, rng).lambda_series,
+    );
+    let ec = EnsembleConfig {
+        initial_shares: resolved.shares.clone(),
+        checkpoints: config.checkpoints.clone(),
+        repetitions: opts.system_repetitions,
+        seed: opts.seed ^ salt,
+        eps_delta: EpsilonDelta::default(),
+        withholding: None,
+    };
+    summarize(kind.name(), &ec, &trajectories)
+}
+
+/// Executes `specs` over the context's pool and sweep cache, returning
+/// outcomes in spec order. All specs are validated and their protocols
+/// constructed **before** any simulation starts, so errors are cheap.
+///
+/// Determinism: every ensemble seed derives from the spec's semantic
+/// content (via the sweep-cache key of the constructed protocol), so the
+/// outcome of each scenario is independent of `--jobs`, scheduling, and
+/// whichever other scenarios run in the same process.
+///
+/// # Errors
+/// Returns the first [`ScenarioError`] across the batch.
+pub fn run_scenarios(
+    ctx: &ExperimentContext,
+    specs: &[ScenarioSpec],
+) -> Result<Vec<ScenarioOutcome>, ScenarioError> {
+    let resolved: Vec<Resolved> = specs
+        .iter()
+        .map(|spec| resolve(ctx, spec))
+        .collect::<Result<_, _>>()?;
+    Ok(ctx.pool.par_map(resolved.len(), |i| {
+        let r = &resolved[i];
+        let summary = ctx.cache.ensemble(
+            &r.protocol,
+            &r.shares,
+            &r.checkpoints,
+            r.repetitions,
+            r.withholding,
+        );
+        let system = match (ctx.opts.with_system, r.system) {
+            (true, Some((kind, horizon, salt))) => Some(run_system(ctx, r, kind, horizon, salt)),
+            _ => None,
+        };
+        ScenarioOutcome {
+            label: r.protocol.label(),
+            summary,
+            system,
+        }
+    }))
+}
+
+/// Runs a spec batch and renders the standard report: per scenario, a band
+/// table plus a `scn_<slug>.csv` under the results directory (and a
+/// `scn_<slug>_system.csv` for hash-level cross-checks). This is what
+/// `repro scenario <file>` prints, and its CSVs obey the same
+/// byte-determinism contract as every figure.
+///
+/// # Errors
+/// Returns scenario resolution failures (as [`io::ErrorKind::InvalidInput`])
+/// and any I/O error from writing CSVs.
+pub fn scenario_report(ctx: &ExperimentContext, specs: &[ScenarioSpec]) -> io::Result<String> {
+    // Scenario names become CSV stems: two names collapsing to one slug
+    // would silently overwrite each other's output, so reject up front.
+    let mut slugs: Vec<(String, &str)> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let slug = spec.slug();
+        if let Some((_, first)) = slugs.iter().find(|(s, _)| *s == slug) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "scenarios \"{first}\" and \"{}\" both write scn_{slug}.csv — rename one",
+                    spec.name
+                ),
+            ));
+        }
+        slugs.push((slug, &spec.name));
+    }
+    let outcomes = run_scenarios(ctx, specs)?;
+    let opts = ctx.opts;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Scenario run — {} scenario(s), default {} repetitions",
+        specs.len(),
+        opts.repetitions
+    );
+    for (spec, outcome) in specs.iter().zip(&outcomes) {
+        let slug = spec.slug();
+        let path = write_csv(
+            &opts.results_dir,
+            &format!("scn_{slug}"),
+            &["n", "mean", "p05", "p95", "unfair"],
+            &band_rows(&outcome.summary),
+        )?;
+        let last = outcome.summary.final_point();
+        let _ = writeln!(
+            out,
+            "\n\"{}\" — {} on shares {:?}, {} repetitions  csv: {}",
+            spec.name,
+            outcome.label,
+            spec.initial_shares,
+            outcome.summary.repetitions,
+            path.display()
+        );
+        let mut t = TextTable::new(vec!["n", "mean", "p05", "p95", "unfair"]);
+        let step = (outcome.summary.points.len() / 6).max(1);
+        for p in outcome.summary.points.iter().step_by(step) {
+            t.row(vec![
+                p.n.to_string(),
+                fmt4(p.mean),
+                fmt4(p.p05),
+                fmt4(p.p95),
+                fmt4(p.unfair_probability),
+            ]);
+        }
+        out.push_str(&t.render());
+        let _ = writeln!(
+            out,
+            "final: mean={} band=[{}, {}] unfair={}  fingerprint: {:016x}",
+            fmt4(last.mean),
+            fmt4(last.p05),
+            fmt4(last.p95),
+            fmt4(last.unfair_probability),
+            spec.fingerprint()
+        );
+        if let Some(system) = &outcome.system {
+            let sys_path = write_csv(
+                &opts.results_dir,
+                &format!("scn_{slug}_system"),
+                &["n", "mean", "p05", "p95", "unfair"],
+                &band_rows(system),
+            )?;
+            let sys_last = system.final_point();
+            let _ = writeln!(
+                out,
+                "hash-level {}: n={} mean={} band=[{}, {}]  csv: {}",
+                system.protocol,
+                sys_last.n,
+                fmt4(sys_last.mean),
+                fmt4(sys_last.p05),
+                fmt4(sys_last.p95),
+                sys_path.display()
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::testutil::tiny_harness;
+    use fairness_core::prelude::*;
+    use fairness_core::scenario::ProtocolSpec;
+
+    fn spec(name: &str, protocol: ProtocolSpec) -> ScenarioSpec {
+        ScenarioSpec::builder(name, protocol)
+            .two_miner(0.2)
+            .explicit(vec![50, 100])
+            .repetitions(40)
+            .build()
+    }
+
+    #[test]
+    fn spec_run_equals_hand_built_run() {
+        // The whole point of the runner: routing through ScenarioSpec +
+        // registry must reproduce the hand-constructed path bit-exactly,
+        // sharing the same cache slot.
+        let h = tiny_harness("runner-equiv");
+        let ctx = h.ctx();
+        let outcomes = run_scenarios(
+            &ctx,
+            &[spec("ml", ProtocolSpec::new("ml-pos").with("w", 0.01))],
+        )
+        .expect("runs");
+        let direct = ctx.ensemble_with(&MlPos::new(0.01), &two_miner(0.2), &[50, 100], 40, None);
+        assert_eq!(*outcomes[0].summary, *direct);
+        assert_eq!(h.cache().hits(), 1, "one computation, shared");
+    }
+
+    #[test]
+    fn outcomes_keep_spec_order_and_memoize_duplicates() {
+        let h = tiny_harness("runner-order");
+        let specs: Vec<ScenarioSpec> = [0.1, 0.2, 0.1]
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| {
+                ScenarioSpec::builder(
+                    format!("sl a={a} #{i}"),
+                    ProtocolSpec::new("sl-pos").with("w", 0.01),
+                )
+                .two_miner(a)
+                .explicit(vec![100])
+                .repetitions(30)
+                .build()
+            })
+            .collect();
+        let outcomes = run_scenarios(&h.ctx(), &specs).expect("runs");
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].summary.share, 0.1);
+        assert_eq!(outcomes[1].summary.share, 0.2);
+        assert_eq!(*outcomes[0].summary, *outcomes[2].summary);
+        assert_eq!(h.cache().misses(), 2, "duplicate spec shares one slot");
+    }
+
+    #[test]
+    fn withholding_flows_through() {
+        let h = tiny_harness("runner-withholding");
+        let base = ScenarioSpec::builder("fsl", ProtocolSpec::new("fsl-pos").with("w", 0.01))
+            .two_miner(0.2)
+            .explicit(vec![2000])
+            .repetitions(60)
+            .build();
+        let mut withheld = base.clone();
+        withheld.withholding = Some(500);
+        let outcomes = run_scenarios(&h.ctx(), &[base, withheld]).expect("runs");
+        assert!(
+            outcomes[1].summary.final_point().unfair_probability
+                < outcomes[0].summary.final_point().unfair_probability,
+            "withholding must improve robust fairness"
+        );
+    }
+
+    #[test]
+    fn errors_name_the_scenario() {
+        let h = tiny_harness("runner-errors");
+        let bad = spec("broken", ProtocolSpec::new("nope"));
+        let err = run_scenarios(&h.ctx(), &[bad]).expect_err("must fail");
+        assert!(matches!(err, ScenarioError::Registry { .. }));
+        assert!(err.to_string().contains("broken"));
+        assert!(err.to_string().contains("nope"));
+
+        let mut bad_engine = spec("sys", ProtocolSpec::new("pow").with("w", 0.01));
+        bad_engine.system = Some(fairness_core::scenario::SystemSpec {
+            engine: "warp".into(),
+            horizon: 100,
+            salt: 0,
+        });
+        let err = run_scenarios(&h.ctx(), &[bad_engine]).expect_err("must fail");
+        assert!(matches!(err, ScenarioError::UnknownEngine { .. }));
+    }
+
+    #[test]
+    fn colliding_slugs_are_rejected_before_any_work() {
+        let h = tiny_harness("runner-collide");
+        let a = spec("my sweep", ProtocolSpec::new("ml-pos").with("w", 0.01));
+        let b = spec("my_sweep!", ProtocolSpec::new("sl-pos").with("w", 0.01));
+        let err = scenario_report(&h.ctx(), &[a, b]).expect_err("same slug must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("scn_my_sweep.csv"), "{err}");
+        assert_eq!(h.cache().misses(), 0, "rejected before simulating");
+    }
+
+    #[test]
+    fn report_writes_csvs() {
+        let h = tiny_harness("runner-report");
+        let out = scenario_report(
+            &h.ctx(),
+            &[spec(
+                "my sweep",
+                ProtocolSpec::new("ml-pos").with("w", 0.01),
+            )],
+        )
+        .expect("report");
+        assert!(out.contains("\"my sweep\""));
+        assert!(out.contains("scn_my_sweep.csv"));
+        assert!(out.contains("fingerprint:"));
+        let csv = h.ctx().opts.results_dir.join("scn_my_sweep.csv");
+        assert!(csv.exists(), "CSV written");
+        let _ = std::fs::remove_dir_all(&h.ctx().opts.results_dir);
+    }
+}

@@ -3,8 +3,10 @@
 //! collapse the ensembles the figures share.
 
 use fairness_bench::experiments::{registry, Harness};
+use fairness_bench::runner::scenario_report;
 use fairness_bench::schedule::run_schedule;
 use fairness_bench::ReproOptions;
+use fairness_core::scenario::text::parse_scenarios;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -17,6 +19,7 @@ fn opts(dir: &Path, jobs: usize) -> ReproOptions {
         with_system: false,
         jobs,
         max_miners: 10,
+        disk_cache: false,
     }
 }
 
@@ -73,6 +76,87 @@ fn csv_outputs_identical_for_any_jobs_level() {
     }
 
     let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn scenario_file_runs_byte_identical_for_any_jobs_level() {
+    // The shipped example spec file is the acceptance fixture: a
+    // user-authored `.scn` run must carry the same determinism guarantee
+    // as the built-in figures — byte-identical CSVs for every `--jobs`.
+    let file = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/selfish_sweep.scn"
+    );
+    let text = std::fs::read_to_string(file).expect("examples/selfish_sweep.scn exists");
+    let mut specs = parse_scenarios(&text).expect("example file parses");
+    assert!(specs.len() >= 4, "example file should sweep several points");
+    for spec in &mut specs {
+        spec.repetitions = Some(25); // test scale
+    }
+
+    let base = std::env::temp_dir().join("fairness-bench-scn-determinism");
+    let _ = std::fs::remove_dir_all(&base);
+    let mut snapshots = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        let harness = Harness::new(opts(&dir, jobs));
+        let report = scenario_report(&harness.ctx(), &specs).expect("scenario run");
+        assert!(report.contains("selfish"), "report names the scenarios");
+        snapshots.push(csv_snapshot(&dir));
+    }
+    let (snap1, snap4) = (&snapshots[0], &snapshots[1]);
+    assert!(!snap1.is_empty(), "scenario run wrote no CSVs");
+    assert!(snap1.keys().all(|name| name.starts_with("scn_")));
+    assert_eq!(
+        snap1.keys().collect::<Vec<_>>(),
+        snap4.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in snap1 {
+        assert_eq!(
+            bytes, &snap4[name],
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn scenario_file_reuses_the_disk_cache_across_invocations() {
+    // Two harnesses over one results dir model two `repro scenario`
+    // invocations: the second must answer every ensemble from the disk
+    // spill and still write byte-identical CSVs.
+    let file = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/selfish_sweep.scn"
+    );
+    let text = std::fs::read_to_string(file).expect("spec file");
+    let mut specs = parse_scenarios(&text).expect("parses");
+    for spec in &mut specs {
+        spec.repetitions = Some(20);
+    }
+    let dir = std::env::temp_dir().join("fairness-bench-scn-disk");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut options = opts(&dir, 2);
+    options.disk_cache = true;
+
+    let first = Harness::new(options.clone());
+    scenario_report(&first.ctx(), &specs).expect("first run");
+    assert_eq!(first.cache().disk_hits(), 0, "cold cache computes");
+    let snap_first = csv_snapshot(&dir);
+
+    let second = Harness::new(options);
+    scenario_report(&second.ctx(), &specs).expect("second run");
+    assert_eq!(
+        second.cache().disk_hits(),
+        specs.len() as u64,
+        "warm cache serves every ensemble from disk"
+    );
+    assert_eq!(
+        snap_first,
+        csv_snapshot(&dir),
+        "disk-served CSVs must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -134,6 +134,14 @@ impl<P: IncentiveProtocol> MiningGame<P> {
                     self.stakes.len(),
                     "protocol returned wrong allocation length"
                 );
+                // A sum check alone is not enough: entries like
+                // `[w + 1, -1]` cancel to the right total while crediting
+                // impossible (negative) income, which silently corrupts λ
+                // and staking power. Reject entry-wise first.
+                debug_assert!(
+                    alloc.iter().all(|r| r.is_finite() && *r >= 0.0),
+                    "allocation entries must be finite and non-negative: {alloc:?}"
+                );
                 debug_assert!(
                     (alloc.iter().sum::<f64>() - total).abs() < 1e-9,
                     "allocation must sum to the step reward"
@@ -318,6 +326,71 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    /// A broken protocol whose `Split` cancels to the right total through
+    /// a negative entry — regression guard for the invariant check.
+    #[derive(Debug, Clone)]
+    struct NegativeSplit;
+
+    impl IncentiveProtocol for NegativeSplit {
+        fn name(&self) -> &'static str {
+            "negative-split"
+        }
+
+        fn reward_per_step(&self) -> f64 {
+            0.01
+        }
+
+        fn params(&self) -> Vec<f64> {
+            Vec::new()
+        }
+
+        fn step(&self, _: &[f64], _: u64, _: &mut Xoshiro256StarStar) -> StepRewards {
+            // Sums to exactly 0.01 — only the entry-wise check catches it.
+            StepRewards::Split(vec![1.01, -1.0])
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn split_with_negative_entries_rejected_in_debug() {
+        let mut game = MiningGame::new(NegativeSplit, &[0.5, 0.5]);
+        let mut rng = Xoshiro256StarStar::new(1);
+        game.step(&mut rng);
+    }
+
+    /// A broken protocol that skims reward: entries are valid but do not
+    /// sum to the step reward.
+    #[derive(Debug, Clone)]
+    struct ShortSplit;
+
+    impl IncentiveProtocol for ShortSplit {
+        fn name(&self) -> &'static str {
+            "short-split"
+        }
+
+        fn reward_per_step(&self) -> f64 {
+            0.01
+        }
+
+        fn params(&self) -> Vec<f64> {
+            Vec::new()
+        }
+
+        fn step(&self, _: &[f64], _: u64, _: &mut Xoshiro256StarStar) -> StepRewards {
+            StepRewards::Split(vec![0.004, 0.004])
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sum to the step reward")]
+    fn split_that_skims_reward_rejected_in_debug() {
+        let mut game = MiningGame::new(ShortSplit, &[0.5, 0.5]);
+        let mut rng = Xoshiro256StarStar::new(1);
+        game.step(&mut rng);
     }
 
     #[test]

@@ -51,6 +51,8 @@ pub mod miner;
 pub mod montecarlo;
 pub mod protocol;
 pub mod protocols;
+pub mod registry;
+pub mod scenario;
 pub mod strategies;
 pub mod theory;
 pub mod trajectory;
@@ -71,6 +73,8 @@ pub use montecarlo::{
 };
 pub use protocol::{IncentiveProtocol, StepRewards};
 pub use protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+pub use registry::{BoxedProtocol, BoxedStrategy, RegistryError};
+pub use scenario::{print_scenarios, Checkpoints, ProtocolSpec, ScenarioSpec, SystemSpec};
 pub use strategies::{CashOut, MiningPool};
 pub use trajectory::{linear_checkpoints, log_checkpoints, Trajectory};
 pub use withholding::WithholdingSchedule;
@@ -90,6 +94,8 @@ pub mod prelude {
     };
     pub use crate::protocol::{IncentiveProtocol, StepRewards};
     pub use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+    pub use crate::registry::{BoxedProtocol, BoxedStrategy};
+    pub use crate::scenario::{Checkpoints, ProtocolSpec, ScenarioSpec, SystemSpec};
     pub use crate::strategies::{CashOut, MiningPool};
     pub use crate::theory;
     pub use crate::trajectory::{linear_checkpoints, log_checkpoints};

@@ -1,0 +1,931 @@
+//! The protocol registry: construct any [`IncentiveProtocol`] from a
+//! `(name, params)` description.
+//!
+//! Every protocol and adapter in this crate registers here, so sweep
+//! harnesses (and user-authored `.scn` spec files) can name protocols as
+//! *data* instead of linking against concrete types. Adapters compose:
+//! `adversary(inner = pow(w = 0.01), strategy = selfish-mining(gamma =
+//! 0.5))` builds `Adversary<Pow, SelfishMining>` behind a type-erased
+//! [`BoxedProtocol`].
+//!
+//! Construction is **fingerprint-transparent**: a [`BoxedProtocol`]
+//! delegates `name()`, `params()` and `rewards_compound()` to the wrapped
+//! value, so a registry-built protocol produces byte-for-byte the same
+//! memoization keys and content-derived seeds as the hand-constructed
+//! equivalent (pinned by `tests/fingerprints.rs`).
+
+use crate::adversary::{
+    Adversary, ForkAction, ForkEvent, ForkState, Honest, SelfishMining, StakeGrinding, Strategy,
+};
+use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+use crate::scenario::{ArgValue, ProtocolSpec};
+use crate::strategies::{CashOut, MiningPool};
+use fairness_stats::rng::Xoshiro256StarStar;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Type-erased, clonable protocol and strategy handles.
+// ---------------------------------------------------------------------------
+
+/// Object-safe cloning shim (the classic `clone_box` pattern): lets a
+/// boxed protocol be cloned per Monte-Carlo repetition, which is what
+/// gives stateful adapters like [`Adversary`] a fresh fork state per game.
+trait CloneProtocol: IncentiveProtocol {
+    fn clone_box(&self) -> Box<dyn CloneProtocol>;
+}
+
+impl<P: IncentiveProtocol + Clone + 'static> CloneProtocol for P {
+    fn clone_box(&self) -> Box<dyn CloneProtocol> {
+        Box::new(self.clone())
+    }
+}
+
+/// A clonable, type-erased [`IncentiveProtocol`] — what
+/// [`construct`] returns. Transparent: every trait method delegates to the
+/// wrapped protocol, so labels, parameter fingerprints and step
+/// distributions are exactly the wrapped value's.
+pub struct BoxedProtocol(Box<dyn CloneProtocol>);
+
+impl BoxedProtocol {
+    /// Wraps a concrete protocol value.
+    #[must_use]
+    pub fn new<P: IncentiveProtocol + Clone + 'static>(protocol: P) -> Self {
+        Self(Box::new(protocol))
+    }
+}
+
+impl Clone for BoxedProtocol {
+    fn clone(&self) -> Self {
+        Self(self.0.clone_box())
+    }
+}
+
+impl fmt::Debug for BoxedProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoxedProtocol({})", self.0.label())
+    }
+}
+
+impl IncentiveProtocol for BoxedProtocol {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn label(&self) -> String {
+        self.0.label()
+    }
+
+    fn reward_per_step(&self) -> f64 {
+        self.0.reward_per_step()
+    }
+
+    fn rewards_compound(&self) -> bool {
+        self.0.rewards_compound()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.0.params()
+    }
+
+    fn step(&self, stakes: &[f64], step_index: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
+        self.0.step(stakes, step_index, rng)
+    }
+}
+
+/// Object-safe cloning shim for strategies, mirroring [`CloneProtocol`].
+trait CloneStrategy: Strategy {
+    fn clone_box(&self) -> Box<dyn CloneStrategy>;
+}
+
+impl<S: Strategy + Clone + 'static> CloneStrategy for S {
+    fn clone_box(&self) -> Box<dyn CloneStrategy> {
+        Box::new(self.clone())
+    }
+}
+
+/// A clonable, type-erased [`Strategy`], used as the `S` of a
+/// registry-built [`Adversary`].
+pub struct BoxedStrategy(Box<dyn CloneStrategy>);
+
+impl BoxedStrategy {
+    /// Wraps a concrete strategy value.
+    #[must_use]
+    pub fn new<S: Strategy + Clone + 'static>(strategy: S) -> Self {
+        Self(Box::new(strategy))
+    }
+}
+
+impl Clone for BoxedStrategy {
+    fn clone(&self) -> Self {
+        Self(self.0.clone_box())
+    }
+}
+
+impl fmt::Debug for BoxedStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoxedStrategy({})", self.0.name())
+    }
+}
+
+impl Strategy for BoxedStrategy {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn decide(&self, state: ForkState, event: ForkEvent) -> ForkAction {
+        self.0.decide(state, event)
+    }
+
+    fn gamma(&self) -> f64 {
+        self.0.gamma()
+    }
+
+    fn grinding_tries(&self) -> u32 {
+        self.0.grinding_tries()
+    }
+
+    fn params(&self) -> Vec<f64> {
+        self.0.params()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------------
+
+/// Why a [`ProtocolSpec`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The spec names a protocol that is not registered.
+    UnknownProtocol(String),
+    /// An `adversary` spec names a strategy that is not registered.
+    UnknownStrategy(String),
+    /// A required parameter is absent.
+    MissingParam {
+        /// Protocol or strategy being constructed.
+        name: String,
+        /// The absent parameter.
+        key: String,
+    },
+    /// The spec passes a parameter the entry does not declare.
+    UnknownParam {
+        /// Protocol or strategy being constructed.
+        name: String,
+        /// The undeclared parameter.
+        key: String,
+    },
+    /// A parameter has the wrong shape or an out-of-domain value.
+    BadParam {
+        /// Protocol or strategy being constructed.
+        name: String,
+        /// The offending parameter.
+        key: String,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownProtocol(name) => {
+                write!(f, "unknown protocol `{name}` (see `repro list-protocols`)")
+            }
+            RegistryError::UnknownStrategy(name) => {
+                write!(f, "unknown strategy `{name}` (see `repro list-protocols`)")
+            }
+            RegistryError::MissingParam { name, key } => {
+                write!(f, "`{name}` needs the parameter `{key}`")
+            }
+            RegistryError::UnknownParam { name, key } => {
+                write!(f, "`{name}` takes no parameter `{key}`")
+            }
+            RegistryError::BadParam { name, key, message } => {
+                write!(f, "`{name}` parameter `{key}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+// ---------------------------------------------------------------------------
+// Entry metadata.
+// ---------------------------------------------------------------------------
+
+/// What shape a declared parameter takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// A scalar (`w = 0.01`).
+    Number,
+    /// A list of scalars (`members = [0, 1]`).
+    List,
+    /// A nested protocol/strategy spec (`inner = ml-pos(w = 0.01)`).
+    Spec,
+}
+
+/// One declared parameter of a registry entry.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamInfo {
+    /// Parameter key as written in specs.
+    pub key: &'static str,
+    /// Expected shape.
+    pub kind: ParamKind,
+    /// Default value for optional numeric parameters; `None` plus
+    /// [`required`](Self::required)` == false` means the default is
+    /// context-dependent (documented in [`doc`](Self::doc)).
+    pub default: Option<f64>,
+    /// Whether the spec must provide the parameter.
+    pub required: bool,
+    /// One-line description for `list-protocols`.
+    pub doc: &'static str,
+}
+
+const fn num(key: &'static str, default: f64, doc: &'static str) -> ParamInfo {
+    ParamInfo {
+        key,
+        kind: ParamKind::Number,
+        default: Some(default),
+        required: false,
+        doc,
+    }
+}
+
+const fn required(key: &'static str, kind: ParamKind, doc: &'static str) -> ParamInfo {
+    ParamInfo {
+        key,
+        kind,
+        default: None,
+        required: true,
+        doc,
+    }
+}
+
+type Construct = fn(&Args<'_>, &[f64]) -> Result<BoxedProtocol, RegistryError>;
+
+/// A registered protocol (or adapter).
+pub struct ProtocolEntry {
+    /// Spec-facing name (`pow`, `ml-pos`, `adversary`, …).
+    pub name: &'static str,
+    /// One-line description for `list-protocols`.
+    pub summary: &'static str,
+    /// Declared parameters; construction rejects undeclared keys.
+    pub params: &'static [ParamInfo],
+    construct: Construct,
+    /// A canonical example spec — used by `list-protocols` and pinned by
+    /// the fingerprint snapshot test, so every entry is provably
+    /// constructible.
+    example: fn() -> ProtocolSpec,
+}
+
+impl fmt::Debug for ProtocolEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProtocolEntry")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProtocolEntry {
+    /// The entry's canonical example spec (constructible by definition).
+    #[must_use]
+    pub fn example(&self) -> ProtocolSpec {
+        (self.example)()
+    }
+
+    /// Renders the signature for listings: `name(key = default, ...)`.
+    #[must_use]
+    pub fn signature(&self) -> String {
+        if self.params.is_empty() {
+            return self.name.to_owned();
+        }
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match (p.kind, p.default) {
+                (ParamKind::Number, Some(default)) => format!("{} = {default}", p.key),
+                (ParamKind::Number, None) => p.key.to_owned(),
+                (ParamKind::List, _) => format!("{} = [..]", p.key),
+                (ParamKind::Spec, _) => format!("{} = <spec>", p.key),
+            })
+            .collect();
+        format!("{}({})", self.name, params.join(", "))
+    }
+}
+
+/// A registered adversary strategy (the `strategy = ...` of `adversary`).
+pub struct StrategyEntry {
+    /// Spec-facing name (`honest`, `selfish-mining`, `stake-grinding`).
+    pub name: &'static str,
+    /// One-line description for `list-protocols`.
+    pub summary: &'static str,
+    /// Declared parameters.
+    pub params: &'static [ParamInfo],
+    construct: fn(&Args<'_>) -> Result<BoxedStrategy, RegistryError>,
+}
+
+impl fmt::Debug for StrategyEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StrategyEntry")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StrategyEntry {
+    /// Renders the signature for listings, mirroring
+    /// [`ProtocolEntry::signature`].
+    #[must_use]
+    pub fn signature(&self) -> String {
+        if self.params.is_empty() {
+            return self.name.to_owned();
+        }
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match p.default {
+                Some(default) => format!("{} = {default}", p.key),
+                None => p.key.to_owned(),
+            })
+            .collect();
+        format!("{}({})", self.name, params.join(", "))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parameter resolution.
+// ---------------------------------------------------------------------------
+
+/// A spec checked against an entry's declared parameters.
+struct Args<'a> {
+    name: &'a str,
+    spec: &'a ProtocolSpec,
+    declared: &'static [ParamInfo],
+}
+
+impl<'a> Args<'a> {
+    fn check(
+        name: &'a str,
+        spec: &'a ProtocolSpec,
+        declared: &'static [ParamInfo],
+    ) -> Result<Self, RegistryError> {
+        for (key, _) in &spec.args {
+            if !declared.iter().any(|p| p.key == key) {
+                return Err(RegistryError::UnknownParam {
+                    name: name.to_owned(),
+                    key: key.clone(),
+                });
+            }
+        }
+        for p in declared {
+            if p.required && spec.get(p.key).is_none() {
+                return Err(RegistryError::MissingParam {
+                    name: name.to_owned(),
+                    key: p.key.to_owned(),
+                });
+            }
+        }
+        Ok(Self {
+            name,
+            spec,
+            declared,
+        })
+    }
+
+    fn bad(&self, key: &str, message: impl Into<String>) -> RegistryError {
+        RegistryError::BadParam {
+            name: self.name.to_owned(),
+            key: key.to_owned(),
+            message: message.into(),
+        }
+    }
+
+    /// A scalar parameter, falling back to the declared default.
+    fn number(&self, key: &str) -> Result<f64, RegistryError> {
+        match self.spec.get(key) {
+            Some(ArgValue::Number(v)) => Ok(*v),
+            Some(_) => Err(self.bad(key, "expected a number")),
+            None => self
+                .declared
+                .iter()
+                .find(|p| p.key == key)
+                .and_then(|p| p.default)
+                .ok_or_else(|| RegistryError::MissingParam {
+                    name: self.name.to_owned(),
+                    key: key.to_owned(),
+                }),
+        }
+    }
+
+    /// A scalar parameter with no static default (`None` when absent).
+    fn optional_number(&self, key: &str) -> Result<Option<f64>, RegistryError> {
+        match self.spec.get(key) {
+            Some(ArgValue::Number(v)) => Ok(Some(*v)),
+            Some(_) => Err(self.bad(key, "expected a number")),
+            None => Ok(None),
+        }
+    }
+
+    /// A positive, finite scalar.
+    fn positive(&self, key: &str) -> Result<f64, RegistryError> {
+        let v = self.number(key)?;
+        if v.is_finite() && v > 0.0 {
+            Ok(v)
+        } else {
+            Err(self.bad(key, format!("must be positive and finite, got {v}")))
+        }
+    }
+
+    /// A finite scalar `>= 0`.
+    fn non_negative(&self, key: &str) -> Result<f64, RegistryError> {
+        let v = self.number(key)?;
+        if v.is_finite() && v >= 0.0 {
+            Ok(v)
+        } else {
+            Err(self.bad(key, format!("must be non-negative and finite, got {v}")))
+        }
+    }
+
+    /// A scalar that must be a non-negative integer.
+    fn index(&self, key: &str) -> Result<usize, RegistryError> {
+        let v = self.number(key)?;
+        if v.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&v) {
+            Ok(v as usize)
+        } else {
+            Err(self.bad(key, format!("must be a non-negative integer, got {v}")))
+        }
+    }
+
+    /// A list parameter.
+    fn list(&self, key: &str) -> Result<&'a [f64], RegistryError> {
+        match self.spec.get(key) {
+            Some(ArgValue::List(vs)) => Ok(vs),
+            Some(_) => Err(self.bad(key, "expected a list like [0, 1]")),
+            None => Err(RegistryError::MissingParam {
+                name: self.name.to_owned(),
+                key: key.to_owned(),
+            }),
+        }
+    }
+
+    /// A nested-spec parameter.
+    fn spec(&self, key: &str) -> Result<&'a ProtocolSpec, RegistryError> {
+        match self.spec.get(key) {
+            Some(ArgValue::Spec(spec)) => Ok(spec),
+            Some(_) => Err(self.bad(key, "expected a nested spec like ml-pos(w = 0.01)")),
+            None => Err(RegistryError::MissingParam {
+                name: self.name.to_owned(),
+                key: key.to_owned(),
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The registry itself.
+// ---------------------------------------------------------------------------
+
+const W_DOC: &str = "block/proposer reward per step (fraction of total initial stake)";
+const INNER_DOC: &str = "the wrapped protocol, e.g. inner = ml-pos(w = 0.01)";
+
+static PROTOCOLS: &[ProtocolEntry] = &[
+    ProtocolEntry {
+        name: "pow",
+        summary: "Proof-of-Work: winners drawn by fixed hash power (= the scenario's initial shares); rewards never compound",
+        params: &[num("w", 0.01, W_DOC)],
+        construct: |args, shares| Ok(BoxedProtocol::new(Pow::new(shares, args.positive("w")?))),
+        example: || ProtocolSpec::new("pow").with("w", 0.01),
+    },
+    ProtocolEntry {
+        name: "ml-pos",
+        summary: "multi-lottery PoS: winner proportional to current stake, rewards compound (Qtum/Blackcoin)",
+        params: &[num("w", 0.01, W_DOC)],
+        construct: |args, _| Ok(BoxedProtocol::new(MlPos::new(args.positive("w")?))),
+        example: || ProtocolSpec::new("ml-pos").with("w", 0.01),
+    },
+    ProtocolEntry {
+        name: "sl-pos",
+        summary: "single-lottery PoS: one seeded lottery per block, the rich monopolize (NXT)",
+        params: &[num("w", 0.01, W_DOC)],
+        construct: |args, _| Ok(BoxedProtocol::new(SlPos::new(args.positive("w")?))),
+        example: || ProtocolSpec::new("sl-pos").with("w", 0.01),
+    },
+    ProtocolEntry {
+        name: "fsl-pos",
+        summary: "fair single-lottery PoS: the paper's Section 6.2 time-function treatment of SL-PoS",
+        params: &[num("w", 0.01, W_DOC)],
+        construct: |args, _| Ok(BoxedProtocol::new(FslPos::new(args.positive("w")?))),
+        example: || ProtocolSpec::new("fsl-pos").with("w", 0.01),
+    },
+    ProtocolEntry {
+        name: "c-pos",
+        summary: "compound PoS: sharded proposer lottery plus proportional inflation (Ethereum 2.0)",
+        params: &[
+            num("w", 0.01, "proposer reward per epoch"),
+            num("v", 0.1, "inflation (attester) reward per epoch"),
+            num("shards", 1.0, "shard count P (the paper's figures use an effective P = 1)"),
+        ],
+        construct: |args, _| {
+            let shards = args.index("shards")?;
+            if shards == 0 || shards > u32::MAX as usize {
+                return Err(args.bad("shards", "must be a positive integer"));
+            }
+            Ok(BoxedProtocol::new(CPos::new(
+                args.positive("w")?,
+                args.non_negative("v")?,
+                shards as u32,
+            )))
+        },
+        example: || {
+            ProtocolSpec::new("c-pos")
+                .with("w", 0.01)
+                .with("v", 0.1)
+                .with("shards", 32.0)
+        },
+    },
+    ProtocolEntry {
+        name: "neo",
+        summary: "NEO-style PoS: winners by fixed voting shares, rewards paid in a separate (non-compounding) asset",
+        params: &[num("w", 0.01, W_DOC)],
+        construct: |args, shares| Ok(BoxedProtocol::new(Neo::new(shares, args.positive("w")?))),
+        example: || ProtocolSpec::new("neo").with("w", 0.01),
+    },
+    ProtocolEntry {
+        name: "algorand",
+        summary: "Algorand-style inflation-only rewards: every miner paid proportionally each step (absolutely fair)",
+        params: &[num("v", 0.1, "inflation per step")],
+        construct: |args, _| Ok(BoxedProtocol::new(Algorand::new(args.positive("v")?))),
+        example: || ProtocolSpec::new("algorand").with("v", 0.1),
+    },
+    ProtocolEntry {
+        name: "eos",
+        summary: "EOS-style: equal proposer pay plus proportional inflation (expectationally unfair)",
+        params: &[
+            num("w", 0.01, "proposer budget per round"),
+            num("v", 0.1, "inflation budget per round"),
+        ],
+        construct: |args, _| {
+            Ok(BoxedProtocol::new(Eos::new(
+                args.positive("w")?,
+                args.non_negative("v")?,
+            )))
+        },
+        example: || ProtocolSpec::new("eos").with("w", 0.01).with("v", 0.1),
+    },
+    ProtocolEntry {
+        name: "cash-out",
+        summary: "adapter: the designated miner withdraws every reward, freezing her staking power (drops Assumption 4)",
+        params: &[
+            required("inner", ParamKind::Spec, INNER_DOC),
+            num("miner", 0.0, "index of the withdrawing miner"),
+            ParamInfo {
+                key: "stake",
+                kind: ParamKind::Number,
+                default: None,
+                required: false,
+                doc: "her frozen staking power (default: her initial share)",
+            },
+        ],
+        construct: |args, shares| {
+            let inner = construct(args.spec("inner")?, shares)?;
+            let miner = args.index("miner")?;
+            if miner >= shares.len() {
+                return Err(args.bad(
+                    "miner",
+                    format!("index {miner} out of range for {} miners", shares.len()),
+                ));
+            }
+            let stake = match args.optional_number("stake")? {
+                Some(v) if v.is_finite() && v >= 0.0 => v,
+                Some(v) => {
+                    return Err(args.bad("stake", format!("must be non-negative and finite, got {v}")))
+                }
+                None => {
+                    let total: f64 = shares.iter().sum();
+                    shares[miner] / total
+                }
+            };
+            Ok(BoxedProtocol::new(CashOut::new(inner, miner, stake)))
+        },
+        example: || {
+            ProtocolSpec::new("cash-out")
+                .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                .with("miner", 0.0)
+                .with("stake", 0.2)
+        },
+    },
+    ProtocolEntry {
+        name: "mining-pool",
+        summary: "adapter: the listed miners pool their staking power and split every win proportionally (Section 6.5)",
+        params: &[
+            required("inner", ParamKind::Spec, INNER_DOC),
+            required("members", ParamKind::List, "pool member indices, e.g. members = [0, 1]"),
+        ],
+        construct: |args, shares| {
+            let inner = construct(args.spec("inner")?, shares)?;
+            let raw = args.list("members")?;
+            let mut members = Vec::with_capacity(raw.len());
+            for &v in raw {
+                if v.fract() != 0.0 || v < 0.0 || v >= shares.len() as f64 {
+                    return Err(args.bad(
+                        "members",
+                        format!("`{v}` is not a miner index below {}", shares.len()),
+                    ));
+                }
+                members.push(v as usize);
+            }
+            let mut distinct = members.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() < 2 {
+                return Err(args.bad("members", "a pool needs at least two distinct members"));
+            }
+            Ok(BoxedProtocol::new(MiningPool::new(inner, members)))
+        },
+        example: || {
+            ProtocolSpec::new("mining-pool")
+                .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                .with("members", vec![0.0, 1.0])
+        },
+    },
+    ProtocolEntry {
+        name: "adversary",
+        summary: "adapter: miner 0 plays a fork-aware strategy (withholding / grinding) over a single-winner protocol",
+        params: &[
+            required("inner", ParamKind::Spec, INNER_DOC),
+            required(
+                "strategy",
+                ParamKind::Spec,
+                "honest | selfish-mining(gamma) | stake-grinding(tries)",
+            ),
+        ],
+        construct: |args, shares| {
+            let inner = construct(args.spec("inner")?, shares)?;
+            let strategy = construct_strategy(args.spec("strategy")?)?;
+            Ok(BoxedProtocol::new(Adversary::new(inner, strategy)))
+        },
+        example: || {
+            ProtocolSpec::new("adversary")
+                .with("inner", ProtocolSpec::new("pow").with("w", 0.01))
+                .with(
+                    "strategy",
+                    ProtocolSpec::new("selfish-mining").with("gamma", 0.5),
+                )
+        },
+    },
+];
+
+static STRATEGIES: &[StrategyEntry] = &[
+    StrategyEntry {
+        name: "honest",
+        summary: "publish every block immediately (the null strategy)",
+        params: &[],
+        construct: |_| Ok(BoxedStrategy::new(Honest)),
+    },
+    StrategyEntry {
+        name: "selfish-mining",
+        summary:
+            "Eyal–Sirer block withholding; gamma = honest power mining the attacker's tip in a race",
+        params: &[num("gamma", 0.0, "tie-break parameter in [0, 1]")],
+        construct: |args| {
+            let gamma = args.number("gamma")?;
+            if !(0.0..=1.0).contains(&gamma) {
+                return Err(args.bad("gamma", format!("must be in [0, 1], got {gamma}")));
+            }
+            Ok(BoxedStrategy::new(SelfishMining::new(gamma)))
+        },
+    },
+    StrategyEntry {
+        name: "stake-grinding",
+        summary:
+            "redraw the lottery seed up to `tries` times whenever the attacker authored her tip",
+        params: &[num(
+            "tries",
+            1.0,
+            "seed candidates per controlled block (1 = honest)",
+        )],
+        construct: |args| {
+            let tries = args.index("tries")?;
+            if tries == 0 || tries > u32::MAX as usize {
+                return Err(args.bad("tries", "must be a positive integer"));
+            }
+            Ok(BoxedStrategy::new(StakeGrinding::new(tries as u32)))
+        },
+    },
+];
+
+/// Every registered protocol, in listing order.
+#[must_use]
+pub fn registry() -> &'static [ProtocolEntry] {
+    PROTOCOLS
+}
+
+/// Every registered adversary strategy, in listing order.
+#[must_use]
+pub fn strategies() -> &'static [StrategyEntry] {
+    STRATEGIES
+}
+
+/// Looks a protocol entry up by spec name.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static ProtocolEntry> {
+    PROTOCOLS.iter().find(|e| e.name == name)
+}
+
+/// Constructs the protocol a spec describes. `shares` is the scenario's
+/// initial share vector — [`Pow`]/[`Neo`] draw their fixed lottery weights
+/// from it, and adapters validate miner indices against it.
+///
+/// # Errors
+/// Returns a [`RegistryError`] naming the unknown entry or offending
+/// parameter; nested construction errors surface from the innermost spec.
+pub fn construct(spec: &ProtocolSpec, shares: &[f64]) -> Result<BoxedProtocol, RegistryError> {
+    let entry =
+        find(&spec.name).ok_or_else(|| RegistryError::UnknownProtocol(spec.name.clone()))?;
+    let args = Args::check(entry.name, spec, entry.params)?;
+    (entry.construct)(&args, shares)
+}
+
+/// Constructs the strategy a spec describes (the `strategy = ...` argument
+/// of `adversary`).
+///
+/// # Errors
+/// Returns a [`RegistryError`] naming the unknown strategy or offending
+/// parameter.
+pub fn construct_strategy(spec: &ProtocolSpec) -> Result<BoxedStrategy, RegistryError> {
+    let entry = STRATEGIES
+        .iter()
+        .find(|e| e.name == spec.name)
+        .ok_or_else(|| RegistryError::UnknownStrategy(spec.name.clone()))?;
+    let args = Args::check(entry.name, spec, entry.params)?;
+    (entry.construct)(&args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::{run_ensemble, EnsembleConfig};
+
+    const SHARES: [f64; 2] = [0.2, 0.8];
+
+    #[test]
+    fn every_entry_constructs_its_example() {
+        for entry in registry() {
+            let spec = entry.example();
+            assert_eq!(spec.name, entry.name);
+            let protocol = construct(&spec, &SHARES)
+                .unwrap_or_else(|e| panic!("{} example must construct: {e}", entry.name));
+            assert!(!protocol.label().is_empty());
+            assert!(protocol.reward_per_step() > 0.0);
+        }
+    }
+
+    #[test]
+    fn constructed_protocols_match_hand_built_fingerprints() {
+        // The registry must be fingerprint-transparent: same name, params
+        // and compounding flag as the concrete value.
+        let check = |spec: &ProtocolSpec, concrete: &dyn IncentiveProtocol| {
+            let boxed = construct(spec, &SHARES).expect("constructs");
+            assert_eq!(boxed.name(), concrete.name());
+            assert_eq!(boxed.params(), concrete.params());
+            assert_eq!(boxed.rewards_compound(), concrete.rewards_compound());
+            assert_eq!(boxed.label(), concrete.label());
+        };
+        check(
+            &ProtocolSpec::new("pow").with("w", 0.01),
+            &Pow::new(&SHARES, 0.01),
+        );
+        check(
+            &ProtocolSpec::new("c-pos")
+                .with("w", 0.01)
+                .with("v", 0.1)
+                .with("shards", 32.0),
+            &CPos::new(0.01, 0.1, 32),
+        );
+        check(
+            &ProtocolSpec::new("cash-out")
+                .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                .with("miner", 0.0)
+                .with("stake", 0.2),
+            &CashOut::new(MlPos::new(0.01), 0, 0.2),
+        );
+        check(
+            &ProtocolSpec::new("adversary")
+                .with("inner", ProtocolSpec::new("pow").with("w", 0.01))
+                .with(
+                    "strategy",
+                    ProtocolSpec::new("selfish-mining").with("gamma", 0.5),
+                ),
+            &Adversary::new(Pow::new(&SHARES, 0.01), SelfishMining::new(0.5)),
+        );
+        check(
+            &ProtocolSpec::new("mining-pool")
+                .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                .with("members", vec![0.0, 1.0]),
+            &MiningPool::new(MlPos::new(0.01), vec![0, 1]),
+        );
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        // Bare names construct at paper defaults.
+        let p = construct(&ProtocolSpec::new("ml-pos"), &SHARES).expect("default w");
+        assert_eq!(p.params(), MlPos::new(0.01).params());
+        // cash-out defaults the frozen stake to the miner's initial share.
+        let spec = ProtocolSpec::new("cash-out").with("inner", ProtocolSpec::new("ml-pos"));
+        let p = construct(&spec, &SHARES).expect("dynamic default");
+        assert_eq!(p.params(), CashOut::new(MlPos::new(0.01), 0, 0.2).params());
+    }
+
+    #[test]
+    fn boxed_protocols_run_ensembles_deterministically() {
+        // The boxed adversary must behave exactly like the concrete one
+        // (clone-per-repetition resets interior fork state identically).
+        let spec = ProtocolSpec::new("adversary")
+            .with("inner", ProtocolSpec::new("pow").with("w", 0.01))
+            .with(
+                "strategy",
+                ProtocolSpec::new("selfish-mining").with("gamma", 0.5),
+            );
+        let shares = [0.3, 0.7];
+        let boxed = construct(&spec, &shares).expect("constructs");
+        let config = EnsembleConfig {
+            checkpoints: vec![100, 300],
+            ..EnsembleConfig::paper_default(0.3, 300, 60, 11)
+        };
+        let via_registry = run_ensemble(&boxed, &config);
+        let direct = run_ensemble(
+            &Adversary::new(Pow::new(&shares, 0.01), SelfishMining::new(0.5)),
+            &config,
+        );
+        assert_eq!(via_registry.points, direct.points);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let err = |spec: ProtocolSpec| construct(&spec, &SHARES).expect_err("must fail");
+        assert_eq!(
+            err(ProtocolSpec::new("nope")),
+            RegistryError::UnknownProtocol("nope".into())
+        );
+        assert!(matches!(
+            err(ProtocolSpec::new("pow").with("bogus", 1.0)),
+            RegistryError::UnknownParam { .. }
+        ));
+        assert!(matches!(
+            err(ProtocolSpec::new("pow").with("w", -1.0)),
+            RegistryError::BadParam { .. }
+        ));
+        assert!(matches!(
+            err(ProtocolSpec::new("cash-out")),
+            RegistryError::MissingParam { .. }
+        ));
+        assert!(matches!(
+            err(ProtocolSpec::new("cash-out")
+                .with("inner", ProtocolSpec::new("ml-pos"))
+                .with("miner", 7.0)),
+            RegistryError::BadParam { .. }
+        ));
+        assert!(matches!(
+            err(ProtocolSpec::new("mining-pool")
+                .with("inner", ProtocolSpec::new("ml-pos"))
+                .with("members", vec![1.0, 1.0])),
+            RegistryError::BadParam { .. }
+        ));
+        // Nested errors surface from the innermost spec.
+        assert_eq!(
+            err(ProtocolSpec::new("adversary")
+                .with("inner", ProtocolSpec::new("nope"))
+                .with("strategy", ProtocolSpec::new("honest"))),
+            RegistryError::UnknownProtocol("nope".into())
+        );
+        assert_eq!(
+            err(ProtocolSpec::new("adversary")
+                .with("inner", ProtocolSpec::new("pow"))
+                .with("strategy", ProtocolSpec::new("sneaky"))),
+            RegistryError::UnknownStrategy("sneaky".into())
+        );
+        let gamma = construct_strategy(&ProtocolSpec::new("selfish-mining").with("gamma", 1.5));
+        assert!(matches!(gamma, Err(RegistryError::BadParam { .. })));
+        // Errors render with the offending names.
+        let text = err(ProtocolSpec::new("nope")).to_string();
+        assert!(text.contains("nope"));
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_signatures_render() {
+        let mut names: Vec<_> = registry().iter().map(|e| e.name).collect();
+        names.extend(strategies().iter().map(|e| e.name));
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry names");
+        assert_eq!(find("pow").expect("pow").signature(), "pow(w = 0.01)");
+        assert_eq!(
+            find("adversary").expect("adversary").signature(),
+            "adversary(inner = <spec>, strategy = <spec>)"
+        );
+        assert_eq!(strategies()[1].signature(), "selfish-mining(gamma = 0)");
+    }
+}

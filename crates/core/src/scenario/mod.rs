@@ -1,0 +1,671 @@
+//! Declarative scenario descriptions — every sweep is data.
+//!
+//! A [`ScenarioSpec`] is a complete, serializable description of one
+//! ensemble run: which protocol (by name and parameters, resolved through
+//! [`crate::registry`]), the initial shares, the checkpoint grid, the
+//! repetition count, an optional withholding schedule and an optional
+//! hash-level cross-check. Experiment harnesses execute specs instead of
+//! hand-written per-figure code, so a new workload is a new *value* (or a
+//! new line in a `.scn` file), not a new module.
+//!
+//! Three representations, all loss-free:
+//!
+//! * the typed value itself, assembled via [`ScenarioSpec::builder`];
+//! * the canonical text form ([`print_scenarios`] /
+//!   [`text::parse_scenarios`]), a hand-rolled format (see the grammar in
+//!   [`text`]) that round-trips exactly: `parse(print(spec)) == spec`;
+//! * the [`ScenarioSpec::fingerprint`] — a [`StableHasher`] digest of the
+//!   semantic content, usable as a cache key. Runners key their sweep
+//!   caches by the *constructed protocol's* `(name, params)` exactly as
+//!   hand-written experiments do, so routing a figure through a spec
+//!   changes neither cache keys nor derived seeds.
+
+pub mod text;
+
+use crate::trajectory::{linear_checkpoints, log_checkpoints};
+use fairness_stats::cache::StableHasher;
+use std::fmt;
+
+/// A parameter value inside a [`ProtocolSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// A scalar (rewards, shares, indices, counts — all numeric).
+    Number(f64),
+    /// A list of scalars (e.g. mining-pool member indices).
+    List(Vec<f64>),
+    /// A nested protocol or strategy description (adapter composition).
+    Spec(ProtocolSpec),
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Number(v)
+    }
+}
+
+impl From<Vec<f64>> for ArgValue {
+    fn from(v: Vec<f64>) -> Self {
+        ArgValue::List(v)
+    }
+}
+
+impl From<ProtocolSpec> for ArgValue {
+    fn from(v: ProtocolSpec) -> Self {
+        ArgValue::Spec(v)
+    }
+}
+
+/// A protocol (or adversary strategy) by name plus named parameters —
+/// the `(name, params)` pair [`crate::registry::construct`] resolves.
+///
+/// Adapters compose by nesting: `cash-out(inner = ml-pos(w = 0.01),
+/// miner = 0)` wraps an ML-PoS instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProtocolSpec {
+    /// Registry name (`pow`, `ml-pos`, `adversary`, …).
+    pub name: String,
+    /// Named arguments in written order (order is preserved by the text
+    /// round-trip but irrelevant to construction).
+    pub args: Vec<(String, ArgValue)>,
+}
+
+impl ProtocolSpec {
+    /// Starts a spec for the protocol registered under `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            args: Vec::new(),
+        }
+    }
+
+    /// Adds a named argument (builder-style).
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<ArgValue>) -> Self {
+        self.args.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks an argument up by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn hash_into(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.args.len() as u64);
+        for (key, value) in &self.args {
+            h.write_str(key);
+            match value {
+                ArgValue::Number(v) => {
+                    h.write_u64(0);
+                    h.write_f64(*v);
+                }
+                ArgValue::List(vs) => {
+                    h.write_u64(1);
+                    h.write_u64(vs.len() as u64);
+                    for v in vs {
+                        h.write_f64(*v);
+                    }
+                }
+                ArgValue::Spec(spec) => {
+                    h.write_u64(2);
+                    spec.hash_into(h);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    /// Canonical text form: `name(key = value, ...)`, bare `name` when
+    /// there are no arguments.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if self.args.is_empty() {
+            return Ok(());
+        }
+        write!(f, "(")?;
+        for (i, (key, value)) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{key} = ")?;
+            match value {
+                ArgValue::Number(v) => write!(f, "{v}")?,
+                ArgValue::List(vs) => write_list(f, vs)?,
+                ArgValue::Spec(spec) => write!(f, "{spec}")?,
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+fn write_list(f: &mut fmt::Formatter<'_>, vs: &[f64]) -> fmt::Result {
+    write!(f, "[")?;
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{v}")?;
+    }
+    write!(f, "]")
+}
+
+/// The checkpoint grid of a scenario — either explicit block counts or a
+/// named generator (so spec files stay readable at production horizons).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Checkpoints {
+    /// Explicit, strictly ascending block/epoch counts.
+    Explicit(Vec<u64>),
+    /// `count` evenly spaced checkpoints up to `horizon`
+    /// ([`linear_checkpoints`]).
+    Linear {
+        /// Final checkpoint.
+        horizon: u64,
+        /// Number of checkpoints.
+        count: usize,
+    },
+    /// Log-spaced checkpoints up to `horizon` ([`log_checkpoints`]).
+    Log {
+        /// Final checkpoint.
+        horizon: u64,
+        /// Checkpoints per decade.
+        per_decade: usize,
+    },
+}
+
+impl Checkpoints {
+    /// Materializes the grid.
+    #[must_use]
+    pub fn resolve(&self) -> Vec<u64> {
+        match self {
+            Checkpoints::Explicit(points) => points.clone(),
+            Checkpoints::Linear { horizon, count } => linear_checkpoints(*horizon, *count),
+            Checkpoints::Log {
+                horizon,
+                per_decade,
+            } => log_checkpoints(*horizon, *per_decade),
+        }
+    }
+}
+
+impl fmt::Display for Checkpoints {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Checkpoints::Explicit(points) => {
+                write!(f, "[")?;
+                for (i, p) in points.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "]")
+            }
+            Checkpoints::Linear { horizon, count } => write!(f, "linear({horizon}, {count})"),
+            Checkpoints::Log {
+                horizon,
+                per_decade,
+            } => write!(f, "log({horizon}, {per_decade})"),
+        }
+    }
+}
+
+/// An optional hash-level (`chain-sim`) cross-check attached to a
+/// scenario: a two-miner network of the named engine is run alongside the
+/// closed-form ensemble (at the harness's `--system-reps` scale) and
+/// summarized over the engine's own checkpoint grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Engine name (`pow`, `ml-pos`, `sl-pos`, `fsl-pos`, `c-pos`).
+    pub engine: String,
+    /// Blocks per repetition.
+    pub horizon: u64,
+    /// Seed salt XOR-ed into the run's master seed, so distinct
+    /// cross-checks draw independent streams.
+    pub salt: u64,
+}
+
+/// A fully declarative description of one ensemble run.
+///
+/// Build with [`ScenarioSpec::builder`], parse from text with
+/// [`text::parse_scenarios`], print with [`print_scenarios`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Display name (also the stem of the scenario's CSV file).
+    pub name: String,
+    /// Protocol to run, by registry name + params.
+    pub protocol: ProtocolSpec,
+    /// Initial resource shares (miner 0 is the tracked miner A).
+    pub initial_shares: Vec<f64>,
+    /// Checkpoint grid.
+    pub checkpoints: Checkpoints,
+    /// Monte-Carlo repetitions; `None` inherits the runner's default
+    /// (`--reps`).
+    pub repetitions: Option<usize>,
+    /// Optional reward-withholding period (Section 6.3).
+    pub withholding: Option<u64>,
+    /// Optional hash-level cross-check.
+    pub system: Option<SystemSpec>,
+}
+
+impl ScenarioSpec {
+    /// Starts building a scenario named `name` running `protocol`.
+    #[must_use]
+    pub fn builder(name: impl Into<String>, protocol: ProtocolSpec) -> ScenarioBuilder {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                name: name.into(),
+                protocol,
+                initial_shares: Vec::new(),
+                checkpoints: Checkpoints::Explicit(Vec::new()),
+                repetitions: None,
+                withholding: None,
+                system: None,
+            },
+        }
+    }
+
+    /// Checks the structural invariants shared by the builder and the
+    /// parser.
+    ///
+    /// # Errors
+    /// Returns a message describing the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must be non-empty".into());
+        }
+        if self.name.contains('"') || self.name.contains('\n') {
+            return Err("scenario name must not contain quotes or newlines".into());
+        }
+        if self.protocol.name.is_empty() {
+            return Err("protocol name must be non-empty".into());
+        }
+        if self.initial_shares.is_empty() {
+            return Err("shares must be non-empty".into());
+        }
+        if !self
+            .initial_shares
+            .iter()
+            .all(|s| s.is_finite() && *s >= 0.0)
+        {
+            return Err("shares must be finite and non-negative".into());
+        }
+        if self.initial_shares.iter().sum::<f64>() <= 0.0 {
+            return Err("shares must sum to a positive total".into());
+        }
+        let checkpoints = self.checkpoints.resolve();
+        if checkpoints.is_empty() {
+            return Err("checkpoints must be non-empty".into());
+        }
+        if !checkpoints.windows(2).all(|w| w[0] < w[1]) {
+            return Err("checkpoints must be strictly ascending".into());
+        }
+        if checkpoints.first() == Some(&0) {
+            return Err("checkpoints must be positive".into());
+        }
+        if self.repetitions == Some(0) {
+            return Err("repetitions must be positive".into());
+        }
+        if self.withholding == Some(0) {
+            return Err("withholding period must be positive".into());
+        }
+        if let Some(system) = &self.system {
+            if system.horizon == 0 {
+                return Err("system horizon must be positive".into());
+            }
+            if self.initial_shares.len() != 2 {
+                return Err("system cross-checks support exactly two miners".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable digest of the scenario's semantic content (everything but
+    /// the display name), built on [`StableHasher`] so it is identical
+    /// across runs, platforms and toolchains. Suitable as a
+    /// content-addressed cache key for whole-scenario artifacts.
+    ///
+    /// Note that ensemble memoization does **not** use this digest:
+    /// runners key the sweep cache by the constructed protocol's
+    /// `(name, params)` — the same key hand-written experiments produce —
+    /// so two spellings of one configuration (say `Linear` vs the
+    /// equivalent `Explicit` grid) still share one computation and one
+    /// derived seed.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = StableHasher::new();
+        h.write_str("scenario-v1");
+        self.protocol.hash_into(&mut h);
+        h.write_u64(self.initial_shares.len() as u64);
+        for s in &self.initial_shares {
+            h.write_f64(*s);
+        }
+        let checkpoints = self.checkpoints.resolve();
+        h.write_u64(checkpoints.len() as u64);
+        for c in &checkpoints {
+            h.write_u64(*c);
+        }
+        h.write_u64(self.repetitions.map_or(u64::MAX, |r| r as u64));
+        h.write_u64(self.withholding.unwrap_or(u64::MAX));
+        match &self.system {
+            None => h.write_u64(0),
+            Some(system) => {
+                h.write_u64(1);
+                h.write_str(&system.engine);
+                h.write_u64(system.horizon);
+                h.write_u64(system.salt);
+            }
+        }
+        h.finish()
+    }
+
+    /// A filesystem-safe stem for this scenario's CSV output
+    /// (lowercased, non-alphanumerics collapsed to `_`).
+    #[must_use]
+    pub fn slug(&self) -> String {
+        let mut out = String::with_capacity(self.name.len());
+        let mut last_underscore = true;
+        for c in self.name.to_lowercase().chars() {
+            if c.is_ascii_alphanumeric() {
+                out.push(c);
+                last_underscore = false;
+            } else if !last_underscore {
+                out.push('_');
+                last_underscore = true;
+            }
+        }
+        while out.ends_with('_') {
+            out.pop();
+        }
+        if out.is_empty() {
+            out.push_str("scenario");
+        }
+        out
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    /// Canonical text form — exactly what [`text::parse_scenarios`]
+    /// accepts.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario \"{}\" {{", self.name)?;
+        writeln!(f, "  protocol = {}", self.protocol)?;
+        write!(f, "  shares = [")?;
+        for (i, s) in self.initial_shares.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        writeln!(f, "]")?;
+        writeln!(f, "  checkpoints = {}", self.checkpoints)?;
+        if let Some(reps) = self.repetitions {
+            writeln!(f, "  repetitions = {reps}")?;
+        }
+        if let Some(period) = self.withholding {
+            writeln!(f, "  withholding = {period}")?;
+        }
+        if let Some(system) = &self.system {
+            writeln!(
+                f,
+                "  system = {}(horizon = {}, salt = {})",
+                system.engine, system.horizon, system.salt
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Renders scenarios in the canonical text form, one block per scenario,
+/// separated by blank lines. Inverse of [`text::parse_scenarios`].
+#[must_use]
+pub fn print_scenarios(specs: &[ScenarioSpec]) -> String {
+    let mut out = String::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&spec.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Builder for [`ScenarioSpec`] (see [`ScenarioSpec::builder`]).
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Sets the initial shares.
+    #[must_use]
+    pub fn shares(mut self, shares: &[f64]) -> Self {
+        self.spec.initial_shares = shares.to_vec();
+        self
+    }
+
+    /// Two miners at `a / 1 − a` (the paper's default shape).
+    #[must_use]
+    pub fn two_miner(self, a: f64) -> Self {
+        let shares = crate::miner::two_miner(a);
+        self.shares(&shares)
+    }
+
+    /// Sets an arbitrary checkpoint grid.
+    #[must_use]
+    pub fn checkpoints(mut self, checkpoints: Checkpoints) -> Self {
+        self.spec.checkpoints = checkpoints;
+        self
+    }
+
+    /// `count` linear checkpoints up to `horizon`.
+    #[must_use]
+    pub fn linear(self, horizon: u64, count: usize) -> Self {
+        self.checkpoints(Checkpoints::Linear { horizon, count })
+    }
+
+    /// Log-spaced checkpoints up to `horizon`.
+    #[must_use]
+    pub fn log(self, horizon: u64, per_decade: usize) -> Self {
+        self.checkpoints(Checkpoints::Log {
+            horizon,
+            per_decade,
+        })
+    }
+
+    /// Explicit checkpoints.
+    #[must_use]
+    pub fn explicit(self, points: Vec<u64>) -> Self {
+        self.checkpoints(Checkpoints::Explicit(points))
+    }
+
+    /// Fixes the repetition count (otherwise the runner default applies).
+    #[must_use]
+    pub fn repetitions(mut self, repetitions: usize) -> Self {
+        self.spec.repetitions = Some(repetitions);
+        self
+    }
+
+    /// Enables reward withholding with the given period.
+    #[must_use]
+    pub fn withholding(mut self, period: u64) -> Self {
+        self.spec.withholding = Some(period);
+        self
+    }
+
+    /// Attaches a hash-level cross-check.
+    #[must_use]
+    pub fn system(mut self, engine: impl Into<String>, horizon: u64, salt: u64) -> Self {
+        self.spec.system = Some(SystemSpec {
+            engine: engine.into(),
+            horizon,
+            salt,
+        });
+        self
+    }
+
+    /// Finalizes the spec.
+    ///
+    /// # Panics
+    /// Panics if the spec violates a structural invariant
+    /// ([`ScenarioSpec::validate`]) — builders are driven by code, where
+    /// an invalid spec is a programming error.
+    #[must_use]
+    pub fn build(self) -> ScenarioSpec {
+        if let Err(message) = self.spec.validate() {
+            panic!("invalid scenario \"{}\": {message}", self.spec.name);
+        }
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ScenarioSpec {
+        ScenarioSpec::builder(
+            "selfish a=0.30",
+            ProtocolSpec::new("adversary")
+                .with("inner", ProtocolSpec::new("pow").with("w", 0.01))
+                .with(
+                    "strategy",
+                    ProtocolSpec::new("selfish-mining").with("gamma", 0.5),
+                ),
+        )
+        .two_miner(0.3)
+        .linear(2000, 10)
+        .repetitions(500)
+        .build()
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        let text = sample().to_string();
+        assert!(text.starts_with("scenario \"selfish a=0.30\" {"));
+        assert!(text.contains(
+            "protocol = adversary(inner = pow(w = 0.01), strategy = selfish-mining(gamma = 0.5))"
+        ));
+        assert!(text.contains("shares = [0.3, 0.7]"));
+        assert!(text.contains("checkpoints = linear(2000, 10)"));
+        assert!(text.contains("repetitions = 500"));
+        assert!(!text.contains("withholding"));
+        assert!(text.ends_with('}'));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = sample();
+        assert_eq!(a.fingerprint(), sample().fingerprint());
+        // The display name is a label, not content.
+        let mut renamed = a.clone();
+        renamed.name = "other".into();
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+        // Everything semantic moves the digest.
+        let mut spec = a.clone();
+        spec.initial_shares = vec![0.4, 0.6];
+        assert_ne!(a.fingerprint(), spec.fingerprint());
+        let mut spec = a.clone();
+        spec.repetitions = None;
+        assert_ne!(a.fingerprint(), spec.fingerprint());
+        let mut spec = a.clone();
+        spec.withholding = Some(100);
+        assert_ne!(a.fingerprint(), spec.fingerprint());
+        let mut spec = a.clone();
+        spec.protocol = ProtocolSpec::new("pow").with("w", 0.01);
+        assert_ne!(a.fingerprint(), spec.fingerprint());
+        let mut spec = a.clone();
+        spec.system = Some(SystemSpec {
+            engine: "pow".into(),
+            horizon: 1000,
+            salt: 1,
+        });
+        assert_ne!(a.fingerprint(), spec.fingerprint());
+    }
+
+    #[test]
+    fn checkpoints_resolve_matches_generators() {
+        assert_eq!(
+            Checkpoints::Linear {
+                horizon: 5000,
+                count: 25
+            }
+            .resolve(),
+            linear_checkpoints(5000, 25)
+        );
+        assert_eq!(
+            Checkpoints::Log {
+                horizon: 100_000,
+                per_decade: 4
+            }
+            .resolve(),
+            log_checkpoints(100_000, 4)
+        );
+        assert_eq!(Checkpoints::Explicit(vec![5, 10]).resolve(), vec![5, 10]);
+    }
+
+    #[test]
+    fn slugs_are_filesystem_safe() {
+        assert_eq!(sample().slug(), "selfish_a_0_30");
+        let mut spec = sample();
+        spec.name = "  (weird)  NAME!! ".into();
+        assert_eq!(spec.slug(), "weird_name");
+        spec.name = "§±!".into();
+        assert_eq!(spec.slug(), "scenario");
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        type Mutation = Box<dyn Fn(&mut ScenarioSpec)>;
+        let cases: Vec<(&str, Mutation)> = vec![
+            ("empty name", Box::new(|s| s.name.clear())),
+            ("quoted name", Box::new(|s| s.name = "a\"b".into())),
+            ("no shares", Box::new(|s| s.initial_shares.clear())),
+            (
+                "negative share",
+                Box::new(|s| s.initial_shares = vec![-0.1, 1.1]),
+            ),
+            (
+                "zero total",
+                Box::new(|s| s.initial_shares = vec![0.0, 0.0]),
+            ),
+            (
+                "descending checkpoints",
+                Box::new(|s| s.checkpoints = Checkpoints::Explicit(vec![10, 5])),
+            ),
+            (
+                "zero checkpoint",
+                Box::new(|s| s.checkpoints = Checkpoints::Explicit(vec![0, 5])),
+            ),
+            ("zero reps", Box::new(|s| s.repetitions = Some(0))),
+            ("zero withholding", Box::new(|s| s.withholding = Some(0))),
+            (
+                "system needs two miners",
+                Box::new(|s| {
+                    s.initial_shares = vec![0.2, 0.3, 0.5];
+                    s.system = Some(SystemSpec {
+                        engine: "pow".into(),
+                        horizon: 100,
+                        salt: 0,
+                    });
+                }),
+            ),
+        ];
+        for (label, mutate) in cases {
+            let mut spec = sample();
+            mutate(&mut spec);
+            assert!(spec.validate().is_err(), "{label} should be rejected");
+        }
+        assert!(sample().validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn builder_panics_on_invalid() {
+        let _ = ScenarioSpec::builder("x", ProtocolSpec::new("pow")).build();
+    }
+}

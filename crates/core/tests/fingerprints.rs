@@ -122,6 +122,97 @@ fn params_fingerprints_are_pinned() {
 }
 
 #[test]
+fn every_registry_entry_constructs_and_matches_the_pinned_snapshots() {
+    // Registry exhaustiveness: every entry's canonical example must
+    // construct from `(name, params)`, and the constructed protocol's
+    // digest must equal the pinned hand-built snapshot above — proving the
+    // registry is fingerprint-transparent (same cache keys, same derived
+    // seeds as direct construction).
+    use fairness_core::registry;
+    let shares = [0.2, 0.8];
+    let pinned: &[(&str, u64)] = &[
+        ("pow", 0xE0F7_E057_7B8F_68E5),
+        ("ml-pos", 0x458B_19BC_C157_1BCD),
+        ("sl-pos", 0xD617_615E_5DFD_F519),
+        ("fsl-pos", 0x7497_A1E5_F58E_6B18),
+        ("c-pos", 0x295E_7B49_41AB_DEA9),
+        ("neo", 0x8F49_415E_1623_9B44),
+        ("algorand", 0x30B8_A6DE_2FEB_41EC),
+        ("eos", 0x9815_90CF_E10C_160A),
+        ("cash-out", 0x1172_8EAD_F4DC_4663),
+        ("mining-pool", 0xF2A9_0128_3885_D2C6),
+        ("adversary", 0x6D36_F008_DD9A_9622),
+    ];
+    let registered: Vec<&str> = registry::registry().iter().map(|e| e.name).collect();
+    let snapshot: Vec<&str> = pinned.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        registered, snapshot,
+        "registry and snapshot list must cover exactly the same entries — \
+         pin a digest for every new protocol"
+    );
+    for entry in registry::registry() {
+        let (_, expected) = pinned
+            .iter()
+            .find(|(n, _)| *n == entry.name)
+            .expect("checked above");
+        let protocol = registry::construct(&entry.example(), &shares)
+            .unwrap_or_else(|e| panic!("`{}` example must construct: {e}", entry.name));
+        assert_eq!(
+            fingerprint(&protocol),
+            *expected,
+            "registry-built `{}` drifted from the pinned hand-built digest",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn every_registry_strategy_constructs_and_matches_the_pinned_snapshots() {
+    // Same exhaustiveness for adversary strategies: each is pinned through
+    // the adversary adapter over the inner protocol used by the hand-built
+    // snapshot above.
+    use fairness_core::registry;
+    use fairness_core::scenario::ProtocolSpec;
+    let pinned: &[(&str, ProtocolSpec, u64)] = &[
+        (
+            "honest",
+            ProtocolSpec::new("sl-pos").with("w", 0.01),
+            0x9E0C_B5DA_86C8_6B0F,
+        ),
+        (
+            "selfish-mining",
+            ProtocolSpec::new("pow").with("w", 0.01),
+            0x6D36_F008_DD9A_9622,
+        ),
+        (
+            "stake-grinding",
+            ProtocolSpec::new("sl-pos").with("w", 0.01),
+            0x5F18_9EB2_BA7B_F19E,
+        ),
+    ];
+    let registered: Vec<&str> = registry::strategies().iter().map(|e| e.name).collect();
+    let snapshot: Vec<&str> = pinned.iter().map(|(n, _, _)| *n).collect();
+    assert_eq!(registered, snapshot, "strategy registry drifted");
+    for (name, inner, expected) in pinned {
+        let strategy = match *name {
+            "selfish-mining" => ProtocolSpec::new(*name).with("gamma", 0.5),
+            "stake-grinding" => ProtocolSpec::new(*name).with("tries", 4.0),
+            _ => ProtocolSpec::new(*name),
+        };
+        let spec = ProtocolSpec::new("adversary")
+            .with("inner", inner.clone())
+            .with("strategy", strategy);
+        let protocol = registry::construct(&spec, &[0.2, 0.8])
+            .unwrap_or_else(|e| panic!("adversary({name}) must construct: {e}"));
+        assert_eq!(
+            fingerprint(&protocol),
+            *expected,
+            "registry-built adversary({name}) drifted from the pinned digest"
+        );
+    }
+}
+
+#[test]
 fn fingerprints_track_every_parameter() {
     // Spot-check sensitivity: each constructor argument must move the
     // digest, or two sweeps would share one cache slot.
