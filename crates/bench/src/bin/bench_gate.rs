@@ -7,14 +7,18 @@
 //!
 //! Both files use the `{target, seconds, reps}` schema written by
 //! `repro --timings`. The committed baseline lives at the repo root
-//! (`BENCH_baseline.json`); regenerate it with the same flags CI uses
-//! (`repro all --quick --jobs 4 --timings BENCH_baseline.json`) whenever
-//! an intentional cost change lands. With `--history`, each run's timings
-//! are appended to a JSONL artifact and the per-target trend is printed
-//! alongside the single-snapshot verdict.
+//! (`BENCH_baseline.json`); regenerate it with
+//! `repro all --quick --jobs 1 --no-disk-cache --timings
+//! BENCH_baseline.json` (jobs 1, so per-target walls are clean serial
+//! measurements) whenever an intentional cost change lands. With
+//! `--history`, each run's timings are appended to a JSONL artifact, the
+//! per-target trend is printed, and targets with at least
+//! [`TREND_WINDOW`] recorded runs gate against the rolling median of
+//! their recent history instead of the committed snapshot.
 
 use fairness_bench::gate::{
-    calibration_factor, gate, history_lines, parse_history, parse_timings, trend_report,
+    calibration_factor, gate, history_lines, parse_history, parse_timings, trend_baseline,
+    trend_report, TREND_WINDOW,
 };
 use std::process::ExitCode;
 
@@ -33,7 +37,10 @@ fn usage() -> &'static str {
      \n\
      --history FILE appends this run's timings to FILE ({ts, target,\n\
      seconds, reps} JSONL, created if absent) and prints each target's\n\
-     trend over the recorded runs next to the snapshot gate."
+     trend over the recorded runs. Targets with at least 3 recorded runs\n\
+     gate against the rolling median of their last 3 (read before this\n\
+     run is appended) instead of the committed BASELINE, which remains\n\
+     the fallback for shorter histories."
 }
 
 fn main() -> ExitCode {
@@ -111,40 +118,67 @@ fn main() -> ExitCode {
     println!(
         "bench-gate: {fresh_path} vs {baseline_path} (tolerance {tolerance}%, abs slack {abs_slack}s)"
     );
+    // Calibration first, over the committed records only: they may come
+    // from foreign hardware. Trend medians (merged next) are already in
+    // this fleet's seconds and are never rescaled — a uniform fleet-wide
+    // slowdown therefore still shows up against the median even though
+    // calibration would wash it out of the committed comparison.
     if calibrate {
         let factor = calibration_factor(&baseline, &fresh, abs_slack);
         for b in &mut baseline {
             b.seconds *= factor;
         }
-        println!("  calibrated baseline by median fresh/baseline ratio {factor:.3}");
+        println!("  calibrated committed baseline by median fresh/baseline ratio {factor:.3}");
+    }
+    // With a history on hand, gate each target against the rolling median
+    // of its recent runs, with the committed snapshot as the floor-raiser
+    // for intentional cost changes (see `trend_baseline`). The history is
+    // read *before* this run is appended, so a run never gates against
+    // itself.
+    if let Some(path) = &history_path {
+        let prior = parse_history(&std::fs::read_to_string(path).unwrap_or_default());
+        let (trend, notes) = trend_baseline(&baseline, &prior, &fresh);
+        if !prior.is_empty() {
+            println!("  gating per target against the {TREND_WINDOW}-run rolling median / committed baseline (whichever is looser):");
+            for note in &notes {
+                println!("{note}");
+            }
+        }
+        baseline = trend;
     }
     let outcome = gate(&baseline, &fresh, tolerance / 100.0, abs_slack);
     print!("{}", outcome.report);
 
     if let Some(path) = history_path {
-        // Append this run, then show each target's trajectory — the
-        // history complements the snapshot verdict with a trend. A true
-        // O_APPEND write (never truncate-and-rewrite): a killed run can at
-        // worst tear its own trailing line, which parse_history skips.
-        let ts = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map_or(0, |d| d.as_secs());
-        let appended = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .and_then(|mut f| {
-                use std::io::Write as _;
-                f.write_all(history_lines(ts, &fresh).as_bytes())
-            });
-        match appended {
-            Err(e) => eprintln!("bench-gate: appending history to {path} failed: {e}"),
-            Ok(()) => {
-                let body = std::fs::read_to_string(&path).unwrap_or_default();
-                let history = parse_history(&body);
-                println!("per-target trend over {path} (last 8 runs):");
-                print!("{}", trend_report(&history, 8));
+        // Record this run only when the gate passes: a regressed run that
+        // entered the history would, after TREND_WINDOW failing runs,
+        // *become* the rolling median and silently re-baseline the gate
+        // to the regressed timing. Passing runs append with a true
+        // O_APPEND write (never truncate-and-rewrite): a killed run can
+        // at worst tear its own trailing line, which parse_history skips.
+        if outcome.failed {
+            println!("  (failing run not recorded in {path} — the trend only tracks passing runs)");
+        } else {
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs());
+            let appended = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| {
+                    use std::io::Write as _;
+                    f.write_all(history_lines(ts, &fresh).as_bytes())
+                });
+            if let Err(e) = appended {
+                eprintln!("bench-gate: appending history to {path} failed: {e}");
             }
+        }
+        let body = std::fs::read_to_string(&path).unwrap_or_default();
+        let history = parse_history(&body);
+        if !history.is_empty() {
+            println!("per-target trend over {path} (last 8 runs):");
+            print!("{}", trend_report(&history, 8));
         }
     }
 

@@ -26,7 +26,7 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|adversarial|all]\n\
-     \x20            [scenario FILE.scn] [list-protocols]\n\
+     \x20            [scenario FILE.scn] [list-protocols] [cache stats|verify|prune]\n\
      \x20            [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]\n\
      \x20            [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]\n\
      \x20            [--timings FILE]\n\
@@ -53,6 +53,11 @@ fn usage() -> &'static str {
      \x20                 built-in figures\n\
      \x20 list-protocols  list every protocol, adapter and adversary strategy the\n\
      \x20                 registry can construct from (name, params)\n\
+     \n\
+     cache maintenance (the persistent ensemble spill under <out>/.cache):\n\
+     \x20 cache stats     entry count, size on disk, corrupt/leftover files\n\
+     \x20 cache verify    decode every entry; non-zero exit if any fails\n\
+     \x20 cache prune     delete corrupt entries and leftover temp files\n\
      \n\
      flags:\n\
      \x20 --jobs N       worker budget per scheduling layer (0 = one per core;\n\
@@ -209,6 +214,63 @@ fn main() -> ExitCode {
     if targets.iter().any(|t| t == "list-protocols") {
         print!("{}", list_protocols());
         return ExitCode::SUCCESS;
+    }
+
+    // `cache <stats|verify|prune>` — maintenance of the persistent
+    // ensemble spill under <out>/.cache.
+    if targets.first().is_some_and(|t| t == "cache") {
+        let action = targets.get(1).map_or("stats", String::as_str);
+        let dir = opts.results_dir.join(".cache");
+        let scan = match fairness_bench::experiments::diskcache::scan(&dir) {
+            Ok(scan) => scan,
+            Err(e) => {
+                eprintln!("scanning {} failed: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "cache {}: {} entries, {:.1} KiB, {} corrupt, {} leftover temp file(s)",
+            dir.display(),
+            scan.entries,
+            scan.bytes as f64 / 1024.0,
+            scan.corrupt.len(),
+            scan.temporaries.len()
+        );
+        return match action {
+            "stats" => ExitCode::SUCCESS,
+            "verify" => {
+                for path in scan.corrupt.iter().chain(&scan.temporaries) {
+                    println!("  bad: {}", path.display());
+                }
+                if scan.removable() == 0 {
+                    println!("cache verify: ok — every entry decodes");
+                    ExitCode::SUCCESS
+                } else {
+                    eprintln!(
+                        "cache verify: {} file(s) would be removed by `repro cache prune`",
+                        scan.removable()
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+            "prune" => match fairness_bench::experiments::diskcache::prune(&dir) {
+                Ok(removed) => {
+                    println!("cache prune: removed {removed} file(s); healthy entries kept");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("cache prune failed: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown cache action `{other}` (stats, verify or prune)\n{}",
+                    usage()
+                );
+                ExitCode::FAILURE
+            }
+        };
     }
 
     // `scenario FILE` runs user-authored specs through the same harness

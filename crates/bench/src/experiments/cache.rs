@@ -216,6 +216,35 @@ impl SweepCache {
         })
     }
 
+    /// Returns a **hash-level system summary** through the same disk
+    /// spill as the closed-form ensembles: when persistence is on and a
+    /// spilled summary under `digest` passes `validate` (the caller's
+    /// shape guard against digest collisions), it is served bit-exactly;
+    /// otherwise `compute` runs and its result is spilled. System runs
+    /// are deterministic functions of their digested configuration, so —
+    /// exactly like ensembles — disk reuse never changes a byte of
+    /// output.
+    pub fn system_summary(
+        &self,
+        digest: u64,
+        validate: impl Fn(&EnsembleSummary) -> bool,
+        compute: impl FnOnce() -> EnsembleSummary,
+    ) -> EnsembleSummary {
+        if let Some(dir) = &self.disk {
+            if let Some(spilled) = diskcache::load(dir, digest) {
+                if validate(&spilled) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return spilled;
+                }
+            }
+        }
+        let summary = compute();
+        if let Some(dir) = &self.disk {
+            diskcache::store(dir, digest, &summary);
+        }
+        summary
+    }
+
     /// Process-level misses answered from the on-disk spill (a subset of
     /// [`misses`](Self::misses)).
     #[must_use]

@@ -30,7 +30,8 @@ const MAGIC: &str = "fairness-ensemble v1";
 
 /// Simulation-behavior revision, mixed into every spill digest alongside
 /// the crate version. **Bump this whenever a change alters what any
-/// ensemble computes** — protocol `step` logic, `run_ensemble`,
+/// ensemble or hash-level system summary computes** — protocol `step`
+/// logic, `run_ensemble`, chain-sim lotteries,
 /// summarization, RNG streams — so stale spills from the previous
 /// behavior are orphaned instead of served. (Pure format changes bump
 /// [`MAGIC`] instead; releases invalidate automatically via the crate
@@ -133,6 +134,87 @@ fn try_store(dir: &Path, digest: u64, summary: &EnsembleSummary) -> std::io::Res
     renamed
 }
 
+// ---------------------------------------------------------------------------
+// Maintenance: the `repro cache` subcommand.
+// ---------------------------------------------------------------------------
+
+/// What a [`scan`] of a spill directory found.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheScan {
+    /// Decodable spill entries.
+    pub entries: usize,
+    /// Bytes across decodable entries.
+    pub bytes: u64,
+    /// Spill files that failed to decode (corrupt, truncated, or written
+    /// by an older format — all served as misses and safe to delete).
+    pub corrupt: Vec<PathBuf>,
+    /// Leftover temporary files from interrupted writers.
+    pub temporaries: Vec<PathBuf>,
+}
+
+impl CacheScan {
+    /// Files [`prune`] would remove.
+    #[must_use]
+    pub fn removable(&self) -> usize {
+        self.corrupt.len() + self.temporaries.len()
+    }
+}
+
+/// Scans a spill directory, decoding every entry — the engine behind
+/// `repro cache stats` and `repro cache verify`. A missing directory
+/// scans as empty (a cold cache is not an error).
+///
+/// # Errors
+/// Returns any I/O error from listing the directory or statting files
+/// (decode failures are reported in the scan, not as errors).
+pub fn scan(dir: &Path) -> std::io::Result<CacheScan> {
+    let mut scan = CacheScan::default();
+    let read = match fs::read_dir(dir) {
+        Ok(read) => read,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(scan),
+        Err(e) => return Err(e),
+    };
+    for entry in read {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.ends_with(".ens") {
+            let decodable = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| decode(&text))
+                .is_some();
+            if decodable {
+                scan.entries += 1;
+                scan.bytes += entry.metadata()?.len();
+            } else {
+                scan.corrupt.push(path);
+            }
+        } else if name.contains(".tmp") {
+            scan.temporaries.push(path);
+        }
+    }
+    scan.corrupt.sort();
+    scan.temporaries.sort();
+    Ok(scan)
+}
+
+/// Removes every corrupt entry and leftover temporary a [`scan`] found,
+/// returning how many files were deleted — `repro cache prune`. Healthy
+/// entries are never touched; the cache stays a pure optimization.
+///
+/// # Errors
+/// Returns the first deletion error.
+pub fn prune(dir: &Path) -> std::io::Result<usize> {
+    let scan = scan(dir)?;
+    let mut removed = 0;
+    for path in scan.corrupt.iter().chain(&scan.temporaries) {
+        fs::remove_file(path)?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +293,32 @@ mod tests {
             fs::write(entry_path(&dir, i as u64), case).expect("write");
             assert!(load(&dir, i as u64).is_none(), "case {i} must be rejected");
         }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scan_and_prune_report_and_heal_the_directory() {
+        let dir = std::env::temp_dir().join("fairness-diskcache-scan");
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(
+            scan(&dir).expect("missing dir scans empty"),
+            CacheScan::default()
+        );
+        store(&dir, 1, &sample());
+        store(&dir, 2, &sample());
+        fs::write(entry_path(&dir, 3), "garbage").expect("write");
+        fs::write(dir.join("00000000000000ff.tmp1234"), "torn").expect("write");
+        let s = scan(&dir).expect("scan");
+        assert_eq!(s.entries, 2);
+        assert!(s.bytes > 0);
+        assert_eq!(s.corrupt.len(), 1);
+        assert_eq!(s.temporaries.len(), 1);
+        assert_eq!(s.removable(), 2);
+        assert_eq!(prune(&dir).expect("prune"), 2);
+        let healed = scan(&dir).expect("rescan");
+        assert_eq!(healed.entries, 2, "healthy entries untouched");
+        assert_eq!(healed.removable(), 0);
+        assert_eq!(load(&dir, 1), Some(sample()), "entries still serve");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -27,7 +27,7 @@ mod ablations;
 mod adversarial;
 pub mod cache;
 pub mod common;
-mod diskcache;
+pub mod diskcache;
 mod extensions;
 mod fig1;
 mod fig2;

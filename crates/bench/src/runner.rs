@@ -152,6 +152,11 @@ fn resolve(ctx: &ExperimentContext, spec: &ScenarioSpec) -> Result<Resolved, Sce
 /// Runs a hash-level cross-check exactly the way the figure modules always
 /// have: a two-miner chain-sim network at `--system-reps` scale, seeded by
 /// `master seed ⊕ salt`, summarized over the engine's checkpoint grid.
+///
+/// Like closed-form ensembles, system summaries spill through the shared
+/// disk cache: the summary is a deterministic function of the digested
+/// configuration, so repeated invocations reuse it bit-exactly instead of
+/// re-grinding the hash-level network.
 fn run_system(
     ctx: &ExperimentContext,
     resolved: &Resolved,
@@ -162,19 +167,51 @@ fn run_system(
     let opts = ctx.opts;
     let a = resolved.shares[0] / resolved.shares.iter().sum::<f64>();
     let config = ExperimentConfig::two_miner(kind, a, resolved.protocol.reward_per_step(), horizon);
-    let trajectories = run_monte_carlo(
-        McConfig::new(opts.system_repetitions, opts.seed ^ salt),
-        |_i, rng| run_experiment(&config, rng).lambda_series,
-    );
-    let ec = EnsembleConfig {
-        initial_shares: resolved.shares.clone(),
-        checkpoints: config.checkpoints.clone(),
-        repetitions: opts.system_repetitions,
-        seed: opts.seed ^ salt,
-        eps_delta: EpsilonDelta::default(),
-        withholding: None,
+    let digest = {
+        let mut h = fairness_stats::cache::StableHasher::new();
+        h.write_str("system-spill-v1");
+        h.write_str(env!("CARGO_PKG_VERSION"));
+        h.write_u64(crate::experiments::diskcache::SIMULATION_REVISION);
+        h.write_str(kind.name());
+        h.write_u64(a.to_bits());
+        h.write_u64(resolved.protocol.reward_per_step().to_bits());
+        h.write_u64(horizon);
+        h.write_u64(opts.system_repetitions as u64);
+        h.write_u64(opts.seed ^ salt);
+        h.write_u64(resolved.shares.len() as u64);
+        for &s in &resolved.shares {
+            h.write_u64(s.to_bits());
+        }
+        h.finish()
     };
-    summarize(kind.name(), &ec, &trajectories)
+    ctx.cache.system_summary(
+        digest,
+        |spilled| {
+            spilled.repetitions == opts.system_repetitions
+                && spilled.protocol == kind.name()
+                && spilled.points.len() == config.checkpoints.len()
+                && spilled
+                    .points
+                    .iter()
+                    .zip(&config.checkpoints)
+                    .all(|(p, &n)| p.n == n)
+        },
+        || {
+            let trajectories = run_monte_carlo(
+                McConfig::new(opts.system_repetitions, opts.seed ^ salt),
+                |_i, rng| run_experiment(&config, rng).lambda_series,
+            );
+            let ec = EnsembleConfig {
+                initial_shares: resolved.shares.clone(),
+                checkpoints: config.checkpoints.clone(),
+                repetitions: opts.system_repetitions,
+                seed: opts.seed ^ salt,
+                eps_delta: EpsilonDelta::default(),
+                withholding: None,
+            };
+            summarize(kind.name(), &ec, &trajectories)
+        },
+    )
 }
 
 /// Executes `specs` over the context's pool and sweep cache, returning
@@ -318,6 +355,7 @@ pub fn scenario_report(ctx: &ExperimentContext, specs: &[ScenarioSpec]) -> io::R
 mod tests {
     use super::*;
     use crate::experiments::testutil::tiny_harness;
+    use crate::experiments::Harness;
     use fairness_core::prelude::*;
     use fairness_core::scenario::ProtocolSpec;
 
@@ -387,6 +425,46 @@ mod tests {
                 < outcomes[0].summary.final_point().unfair_probability,
             "withholding must improve robust fairness"
         );
+    }
+
+    #[test]
+    fn system_summaries_spill_through_the_disk_cache() {
+        // Two harnesses over one results dir model two invocations: the
+        // second must serve both the ensemble *and* the hash-level system
+        // summary from disk, bit-exactly.
+        let dir = std::env::temp_dir().join("fairness-bench-system-spill");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = crate::ReproOptions {
+            repetitions: 30,
+            system_repetitions: 2,
+            seed: 11,
+            results_dir: dir.clone(),
+            with_system: true,
+            jobs: 1,
+            max_miners: 10,
+            disk_cache: true,
+        };
+        let mut with_system = spec("pow-sys", ProtocolSpec::new("pow").with("w", 0.01));
+        with_system.system = Some(fairness_core::scenario::SystemSpec {
+            engine: "pow".into(),
+            horizon: 40,
+            salt: 0x77,
+        });
+
+        let first = Harness::new(opts.clone());
+        let cold = run_scenarios(&first.ctx(), std::slice::from_ref(&with_system)).expect("cold");
+        assert_eq!(first.cache().disk_hits(), 0, "cold cache computes");
+
+        let second = Harness::new(opts);
+        let warm = run_scenarios(&second.ctx(), std::slice::from_ref(&with_system)).expect("warm");
+        assert_eq!(
+            second.cache().disk_hits(),
+            2,
+            "ensemble + system summary both served from disk"
+        );
+        assert_eq!(*cold[0].summary, *warm[0].summary);
+        assert_eq!(cold[0].system, warm[0].system, "system spill is bit-exact");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

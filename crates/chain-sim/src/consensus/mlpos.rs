@@ -9,7 +9,7 @@
 //! Section 2.2 and the win probability ≈ `S_A/(S_A+S_B)` for small `p`.
 
 use super::{check_inputs, total_stake, BlockLottery, LotteryOutcome, MinerProfile};
-use crate::hash::{Hash256, HashBuilder};
+use crate::hash::{Hash256, HashBuilder, HashMidstate};
 use crate::u256::U256;
 use rand::Rng as _;
 use rand::RngCore;
@@ -87,6 +87,18 @@ impl MlPosEngine {
             .finish()
     }
 
+    /// Midstate over the fixed kernel prefix `(prev, pubkey)`; scanning
+    /// timestamps from it yields [`kernel`](Self::kernel) bit-for-bit at
+    /// one compression per trial (the timestamp scan is this engine's
+    /// nonce grind).
+    #[must_use]
+    pub fn kernel_midstate(prev: &Hash256, pubkey: &Hash256) -> HashMidstate {
+        HashBuilder::new("mlpos-kernel")
+            .hash(prev)
+            .hash(pubkey)
+            .midstate()
+    }
+
     /// Whether a kernel satisfies `kernel < difficulty·stake`.
     #[must_use]
     pub fn kernel_valid(&self, kernel: &Hash256, stake: u64) -> bool {
@@ -116,15 +128,30 @@ impl BlockLottery for MlPosEngine {
             total_stake(stakes) > 0,
             "ML-PoS requires positive total stake"
         );
+        // The kernel prefix (prev, pubkey) is fixed for the whole race:
+        // absorb it once per miner, then scan timestamps from the
+        // midstates (same digests, one compression per trial). Per-miner
+        // validity thresholds are fixed too — precompute them.
+        let midstates: Vec<Option<(HashMidstate, U256)>> = miners
+            .iter()
+            .zip(stakes)
+            .map(|(miner, &stake)| {
+                (stake > 0).then(|| {
+                    let threshold = self.difficulty.saturating_mul(U256::from_u64(stake));
+                    (Self::kernel_midstate(prev, &miner.pubkey), threshold)
+                })
+            })
+            .collect();
+        let mut winners: Vec<(usize, Hash256)> = Vec::new();
         for tick in 1..=self.max_ticks {
             // Collect all miners whose kernel is valid at this timestamp.
-            let mut winners: Vec<(usize, Hash256)> = Vec::new();
-            for (mi, miner) in miners.iter().enumerate() {
-                if stakes[mi] == 0 {
+            winners.clear();
+            for (mi, entry) in midstates.iter().enumerate() {
+                let Some((midstate, threshold)) = entry else {
                     continue;
-                }
-                let kernel = Self::kernel(prev, &miner.pubkey, tick);
-                if self.kernel_valid(&kernel, stakes[mi]) {
+                };
+                let kernel = midstate.finish_u64(tick);
+                if kernel.to_u256() < *threshold {
                     winners.push((mi, kernel));
                 }
             }

@@ -9,7 +9,7 @@
 //! model, so the win probability converges to `H_A/(H_A + H_B)`.
 
 use super::{check_inputs, BlockLottery, LotteryOutcome, MinerProfile};
-use crate::hash::{Hash256, HashBuilder};
+use crate::hash::{Hash256, HashBuilder, HashMidstate};
 use crate::u256::U256;
 use rand::RngCore;
 
@@ -58,6 +58,19 @@ impl PowEngine {
             .finish()
     }
 
+    /// Midstate over the fixed trial-hash prefix `(prev, pubkey)`:
+    /// grinding a nonce from it yields [`trial_hash`](Self::trial_hash)
+    /// bit-for-bit at roughly a third of the cost (the domain and both
+    /// hashes are absorbed once, and each candidate pays one compression
+    /// instead of two plus the builder copies).
+    #[must_use]
+    pub fn trial_midstate(prev: &Hash256, pubkey: &Hash256) -> HashMidstate {
+        HashBuilder::new("pow-trial")
+            .hash(prev)
+            .hash(pubkey)
+            .midstate()
+    }
+
     /// Whether a trial hash satisfies the target.
     #[must_use]
     pub fn trial_valid(&self, trial: &Hash256) -> bool {
@@ -95,13 +108,24 @@ impl PowEngine {
         // Each miner starts from a random nonce offset (real miners pick
         // random extraNonce ranges), then scans sequentially.
         let mut cursors: Vec<u64> = miners.iter().map(|_| rng.next_u64()).collect();
+        // The trial prefix (tip, pubkey) is fixed for the whole race:
+        // absorb it once per miner and grind every nonce from the
+        // midstate — same digests, one compression per candidate.
+        let midstates: Vec<HashMidstate> = miners
+            .iter()
+            .enumerate()
+            .map(|(mi, miner)| Self::trial_midstate(&tips[mi], &miner.pubkey))
+            .collect();
         for tick in 0..self.max_ticks {
             let mut best: Option<(Hash256, usize, u64)> = None;
             for (mi, miner) in miners.iter().enumerate() {
-                for _ in 0..miner.hash_rate {
-                    let nonce = cursors[mi];
-                    cursors[mi] = cursors[mi].wrapping_add(1);
-                    let trial = Self::trial_hash(&tips[mi], &miner.pubkey, nonce);
+                // Batched per-miner grind: nonces are consecutive, so the
+                // cursor is bumped once per tick instead of per trial.
+                let start = cursors[mi];
+                cursors[mi] = start.wrapping_add(miner.hash_rate);
+                for off in 0..miner.hash_rate {
+                    let nonce = start.wrapping_add(off);
+                    let trial = midstates[mi].finish_u64(nonce);
                     if self.trial_valid(&trial) {
                         let candidate = (trial, mi, nonce);
                         let better = match &best {

@@ -113,6 +113,44 @@ impl HashBuilder {
     pub fn finish(self) -> Hash256 {
         Hash256(self.inner.finalize())
     }
+
+    /// Freezes the fields absorbed so far into a reusable midstate.
+    ///
+    /// Nonce grinding hashes the same prefix (domain, parent hash, public
+    /// key) millions of times with only a trailing `u64` varying; a
+    /// midstate pays the prefix's compressions and buffer copies **once**
+    /// and each [`HashMidstate::finish_u64`] then costs a single
+    /// compression. `builder.midstate().finish_u64(n)` is bit-identical
+    /// to `builder.u64(n).finish()` by construction (same absorbed
+    /// bytes), pinned by unit tests.
+    #[must_use]
+    pub fn midstate(self) -> HashMidstate {
+        HashMidstate { inner: self.inner }
+    }
+}
+
+/// A frozen [`HashBuilder`] prefix: completes digests for messages that
+/// append one `u64` field to the captured prefix. See
+/// [`HashBuilder::midstate`].
+#[derive(Debug, Clone)]
+pub struct HashMidstate {
+    inner: Sha256,
+}
+
+impl HashMidstate {
+    /// Digest of `prefix || u64(v)` — bit-identical to having called
+    /// [`HashBuilder::u64`] then [`HashBuilder::finish`] on the captured
+    /// builder.
+    #[must_use]
+    pub fn finish_u64(&self, v: u64) -> Hash256 {
+        let mut h = self.inner.clone();
+        // The u64 field framing of `HashBuilder::u64`.
+        let mut field = [0u8; 9];
+        field[0] = 8;
+        field[1..].copy_from_slice(&v.to_le_bytes());
+        h.update(&field);
+        Hash256(h.finalize())
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +211,42 @@ mod tests {
     fn zero_constant() {
         assert_eq!(Hash256::ZERO.to_u256(), U256::ZERO);
         assert_eq!(Hash256::ZERO.as_unit_f64(), 0.0);
+    }
+
+    #[test]
+    fn midstate_grind_is_bit_identical_to_full_hash() {
+        // Every prefix shape the engines use, plus block-boundary edges:
+        // the midstate path must reproduce the direct builder bit-for-bit.
+        let builders: Vec<fn() -> HashBuilder> = vec![
+            || HashBuilder::new("pow-trial"),
+            || {
+                HashBuilder::new("pow-trial")
+                    .hash(&HashBuilder::new("x").finish())
+                    .hash(&HashBuilder::new("y").u64(9).finish())
+            },
+            || HashBuilder::new("d").bytes(&[0xab; 55]),
+            || HashBuilder::new("d").bytes(&[0xab; 64]),
+            || HashBuilder::new("d").bytes(&[0xab; 119]),
+        ];
+        for (bi, make) in builders.iter().enumerate() {
+            let midstate = make().midstate();
+            for nonce in [0u64, 1, 42, u64::MAX, 0x0102_0304_0506_0708] {
+                assert_eq!(
+                    midstate.finish_u64(nonce),
+                    make().u64(nonce).finish(),
+                    "builder {bi} nonce {nonce}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn midstate_is_reusable() {
+        let midstate = HashBuilder::new("grind").hash(&Hash256::ZERO).midstate();
+        let a1 = midstate.finish_u64(7);
+        let b = midstate.finish_u64(8);
+        let a2 = midstate.finish_u64(7);
+        assert_eq!(a1, a2, "grinding must not consume the midstate");
+        assert_ne!(a1, b);
     }
 }

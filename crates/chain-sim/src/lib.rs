@@ -49,7 +49,7 @@ pub use consensus::{
     MlPosEngine, PowEngine, SlPosEngine,
 };
 pub use difficulty::{bitcoin_retarget, nxt_adjust_base_target, target_for_expected_interval};
-pub use hash::{Hash256, HashBuilder};
+pub use hash::{Hash256, HashBuilder, HashMidstate};
 pub use mempool::Mempool;
 pub use merkle::{MerkleTree, ProofStep};
 pub use sha256::{sha256, sha256d, Sha256};

@@ -22,7 +22,7 @@
 //!    machinery unchanged (the `chain-sim` crate hosts the hash-level
 //!    counterpart, `ForkNetSim`, validated against the same laws).
 
-use crate::protocol::{protocol_tag, IncentiveProtocol, StepRewards};
+use crate::protocol::{protocol_tag, IncentiveProtocol, StepOutcome, StepRewards, StepRewardsView};
 use fairness_stats::rng::Xoshiro256StarStar;
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -481,7 +481,16 @@ pub fn run_fork_game<S: Strategy + ?Sized>(
 pub struct Adversary<P, S> {
     inner: P,
     strategy: S,
-    machine: Mutex<ForkMachine>,
+    machine: Mutex<AdversaryScratch>,
+}
+
+/// Interior per-game state of an [`Adversary`]: the fork machine plus a
+/// reusable outcome the wrapped protocol's draws land in, so adversarial
+/// stepping allocates nothing in steady state either.
+#[derive(Debug)]
+struct AdversaryScratch {
+    machine: ForkMachine,
+    inner_out: StepOutcome,
 }
 
 impl<P: IncentiveProtocol, S: Strategy> Adversary<P, S> {
@@ -491,7 +500,10 @@ impl<P: IncentiveProtocol, S: Strategy> Adversary<P, S> {
         Self {
             inner,
             strategy,
-            machine: Mutex::new(ForkMachine::new(0)),
+            machine: Mutex::new(AdversaryScratch {
+                machine: ForkMachine::new(0),
+                inner_out: StepOutcome::new(),
+            }),
         }
     }
 
@@ -516,10 +528,10 @@ impl<P: IncentiveProtocol + Clone, S: Strategy + Clone> Clone for Adversary<P, S
     }
 }
 
-fn single_winner(rewards: &StepRewards, protocol: &str) -> usize {
+fn single_winner(rewards: StepRewardsView<'_>, protocol: &str) -> usize {
     match rewards {
-        StepRewards::Winner(w) => *w,
-        StepRewards::Split(_) => panic!(
+        StepRewardsView::Winner(w) => w,
+        StepRewardsView::Split(_) => panic!(
             "adversarial strategies need a single-winner protocol; {protocol} splits rewards"
         ),
     }
@@ -550,9 +562,27 @@ impl<P: IncentiveProtocol, S: Strategy> IncentiveProtocol for Adversary<P, S> {
     }
 
     fn step(&self, stakes: &[f64], step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
-        let mut machine = self.machine.lock().expect("adversary fork state lock");
+        let mut out = StepOutcome::new();
+        self.step_into(stakes, step, rng, &mut out);
+        out.to_rewards()
+    }
+
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        let mut guard = self.machine.lock().expect("adversary fork state lock");
+        let state = &mut *guard;
+        // The stake vector may have changed since the previous settled
+        // block (the game credits rewards between steps); a live sampler
+        // in the interior scratch would be stale. Within this step the
+        // stakes are fixed, so grinding redraws still reuse the rebuild.
+        state.inner_out.invalidate_weights();
         let mut safety = 0u32;
-        while machine.settled_len() == 0 {
+        while state.machine.settled_len() == 0 {
             safety += 1;
             assert!(
                 safety < 1_000_000,
@@ -562,27 +592,36 @@ impl<P: IncentiveProtocol, S: Strategy> IncentiveProtocol for Adversary<P, S> {
             // lottery up to `tries` times and keeps the first winning draw
             // (falling back to the last). `tries = 1` draws exactly once,
             // making the adapter bit-identical to the honest stream.
-            let tries = if machine.attacker_controls_tip() {
+            let tries = if state.machine.attacker_controls_tip() {
                 self.strategy.grinding_tries()
             } else {
                 1
             };
-            let mut winner = single_winner(&self.inner.step(stakes, step, rng), self.inner.name());
+            self.inner
+                .step_into(stakes, step, rng, &mut state.inner_out);
+            let mut winner = single_winner(state.inner_out.view(), self.inner.name());
             let mut attempt = 1;
             while winner != 0 && attempt < tries {
-                winner = single_winner(&self.inner.step(stakes, step, rng), self.inner.name());
+                self.inner
+                    .step_into(stakes, step, rng, &mut state.inner_out);
+                winner = single_winner(state.inner_out.view(), self.inner.name());
                 attempt += 1;
             }
             let on_private = if winner == 0 {
                 true
-            } else if machine.tie_race() {
+            } else if state.machine.tie_race() {
                 rng.next_f64() < self.strategy.gamma()
             } else {
                 false
             };
-            machine.on_block(&self.strategy, winner, on_private);
+            state.machine.on_block(&self.strategy, winner, on_private);
         }
-        StepRewards::Winner(machine.pop_settled().expect("settled queue non-empty"))
+        out.set_winner(
+            state
+                .machine
+                .pop_settled()
+                .expect("settled queue non-empty"),
+        );
     }
 }
 
@@ -796,7 +835,7 @@ mod tests {
         }
         let fresh = adapter.clone();
         let m = fresh.machine.lock().expect("lock");
-        assert_eq!(m.state().private, 0);
-        assert_eq!(m.settled_len(), 0);
+        assert_eq!(m.machine.state().private, 0);
+        assert_eq!(m.machine.settled_len(), 0);
     }
 }

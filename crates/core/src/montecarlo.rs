@@ -156,7 +156,7 @@ where
         "need at least one checkpoint"
     );
     let m = config.initial_shares.len();
-    let trajectories = run_monte_carlo(
+    let mut trajectories = run_monte_carlo(
         McConfig::new(config.repetitions, config.seed),
         |_idx, rng| {
             let mut game = MiningGame::new(protocol.clone(), &config.initial_shares);
@@ -170,9 +170,17 @@ where
         },
     );
     let shares = crate::miner::normalize_shares(&config.initial_shares);
+    let label = protocol.label();
+    let mut column = vec![0.0f64; trajectories.len()];
     (0..m)
         .map(|i| {
-            let per_rep: Vec<Vec<f64>> = trajectories.iter().map(|reps| reps[i].clone()).collect();
+            // Move each repetition's miner-i trajectory out of the shared
+            // buffer instead of deep-cloning it — every [rep][miner] cell
+            // is consumed exactly once.
+            let per_rep: Vec<Vec<f64>> = trajectories
+                .iter_mut()
+                .map(|reps| std::mem::take(&mut reps[i]))
+                .collect();
             let mut cfg = config.clone();
             // Evaluate miner i against her own share.
             cfg.initial_shares = {
@@ -180,7 +188,7 @@ where
                 s.swap(0, i);
                 s
             };
-            let mut summary = summarize(&protocol.label(), &cfg, &per_rep);
+            let mut summary = summarize_with_scratch(&label, &cfg, &per_rep, &mut column);
             summary.share = shares[i];
             summary
         })
@@ -199,6 +207,19 @@ pub fn summarize(
     config: &EnsembleConfig,
     trajectories: &[Vec<f64>],
 ) -> EnsembleSummary {
+    let mut column = Vec::new();
+    summarize_with_scratch(protocol_name, config, trajectories, &mut column)
+}
+
+/// [`summarize`] with a caller-provided column scratch buffer, so
+/// summarizing many miners (or many ensembles) reuses one allocation —
+/// the per-checkpoint scatter already reuses the buffer within a call.
+fn summarize_with_scratch(
+    protocol_name: &str,
+    config: &EnsembleConfig,
+    trajectories: &[Vec<f64>],
+    column: &mut Vec<f64>,
+) -> EnsembleSummary {
     assert!(!trajectories.is_empty(), "no trajectories to summarize");
     let k = config.checkpoints.len();
     assert!(
@@ -207,18 +228,19 @@ pub fn summarize(
     );
     let a = config.initial_shares[0];
     let mut points = Vec::with_capacity(k);
-    let mut column = vec![0.0f64; trajectories.len()];
+    column.clear();
+    column.resize(trajectories.len(), 0.0);
     for (ci, &n) in config.checkpoints.iter().enumerate() {
         for (ri, t) in trajectories.iter().enumerate() {
             column[ri] = t[ci];
         }
-        let summary = FiveNumber::from_samples(&column);
+        let summary = FiveNumber::from_samples(column);
         points.push(BandPoint {
             n,
             mean: summary.mean,
             p05: summary.p05,
             p95: summary.p95,
-            unfair_probability: unfair_probability(&column, a, config.eps_delta),
+            unfair_probability: unfair_probability(column, a, config.eps_delta),
         });
     }
     EnsembleSummary {

@@ -7,7 +7,7 @@
 //! incentives.
 
 use super::{assert_positive_reward, total_stake};
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// Algorand-style inflation-only rewards.
@@ -44,6 +44,21 @@ impl IncentiveProtocol for Algorand {
     fn step(&self, stakes: &[f64], _step: u64, _rng: &mut Xoshiro256StarStar) -> StepRewards {
         let total = total_stake(stakes);
         StepRewards::Split(stakes.iter().map(|&s| self.inflation * s / total).collect())
+    }
+
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        _rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        let total: f64 = stakes.iter().sum();
+        debug_assert!(total.is_finite() && total > 0.0);
+        let slots = out.split_slots(stakes.len());
+        for (slot, &s) in slots.iter_mut().zip(stakes) {
+            *slot = self.inflation * s / total;
+        }
     }
 }
 

@@ -8,7 +8,7 @@
 //! proposer-lottery variance.
 
 use super::{assert_positive_reward, total_stake};
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::dist::Multinomial;
 use fairness_stats::rng::Xoshiro256StarStar;
 
@@ -86,23 +86,52 @@ impl IncentiveProtocol for CPos {
         ]
     }
 
-    fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
-        let total = total_stake(stakes);
+    fn step(&self, stakes: &[f64], step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
+        let _ = total_stake(stakes);
+        let mut out = StepOutcome::new();
+        self.step_into(stakes, step, rng, &mut out);
+        out.to_rewards()
+    }
+
+    /// One epoch without a single heap allocation: share probabilities,
+    /// multinomial scratch and trial counts all borrow the outcome's
+    /// pooled buffers, and the trial loop is
+    /// [`Multinomial::sample_weights_into`] — bit-for-bit the arithmetic
+    /// and RNG stream of the allocating path.
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        let total: f64 = stakes.iter().sum();
+        debug_assert!(total.is_finite() && total > 0.0);
         let m = stakes.len();
-        let probs: Vec<f64> = stakes.iter().map(|&s| s / total).collect();
+        let mut probs = out.take_f64();
+        probs.extend(stakes.iter().map(|&s| s / total));
         // Proposer lottery: X ~ Multinomial(P, probs).
-        let proposer_counts = if m == 1 {
-            vec![self.shards as u64]
+        let mut normalized = out.take_f64();
+        let mut counts = out.take_u64();
+        if m == 1 {
+            counts.push(self.shards as u64);
         } else {
-            Multinomial::new(self.shards as u64, probs.clone()).sample(rng)
-        };
+            Multinomial::sample_weights_into(
+                self.shards as u64,
+                &probs,
+                &mut normalized,
+                &mut counts,
+                rng,
+            );
+        }
         let per_shard = self.proposer_reward / self.shards as f64;
-        let rewards: Vec<f64> = proposer_counts
-            .iter()
-            .zip(&probs)
-            .map(|(&x, &p)| x as f64 * per_shard + self.inflation_reward * p)
-            .collect();
-        StepRewards::Split(rewards)
+        let slots = out.split_slots(m);
+        for ((slot, &x), &p) in slots.iter_mut().zip(&counts).zip(&probs) {
+            *slot = x as f64 * per_shard + self.inflation_reward * p;
+        }
+        out.give_f64(probs);
+        out.give_f64(normalized);
+        out.give_u64(counts);
     }
 }
 

@@ -8,7 +8,7 @@
 //! their stake, large ones under-paid).
 
 use super::{assert_positive_reward, total_stake};
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// EOS-style delegated PoS: equal proposer pay plus proportional inflation.
@@ -61,6 +61,22 @@ impl IncentiveProtocol for Eos {
                 .map(|&s| self.proposer_reward / m + self.inflation_reward * s / total)
                 .collect(),
         )
+    }
+
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        _rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        let total: f64 = stakes.iter().sum();
+        debug_assert!(total.is_finite() && total > 0.0);
+        let m = stakes.len() as f64;
+        let slots = out.split_slots(stakes.len());
+        for (slot, &s) in slots.iter_mut().zip(stakes) {
+            *slot = self.proposer_reward / m + self.inflation_reward * s / total;
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! combined with reward withholding (Figure 6b).
 
 use super::{assert_positive_reward, total_stake};
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// Fair single-lottery Proof-of-Stake.
@@ -27,25 +27,12 @@ impl FslPos {
         Self { reward }
     }
 
-    /// Samples the winner of the exponential race.
+    /// Samples the winner of the exponential race: the shared
+    /// seed-then-race kernel with exponential tickets
+    /// (`-ln(1 − U)` via `ln_1p` for accuracy near zero).
+    #[inline]
     pub fn sample_winner(stakes: &[f64], rng: &mut Xoshiro256StarStar) -> usize {
-        let mut best: Option<(f64, usize)> = None;
-        for (i, &s) in stakes.iter().enumerate() {
-            if s <= 0.0 {
-                continue;
-            }
-            // -ln(1-U) via ln_1p for accuracy near zero.
-            let u = rng.next_f64();
-            let t = -(-u).ln_1p() / s;
-            let better = match best {
-                None => true,
-                Some((bt, _)) => t < bt,
-            };
-            if better {
-                best = Some((t, i));
-            }
-        }
-        best.expect("positive total stake guaranteed by caller").1
+        super::waiting_time_race(stakes, rng, |u| -(-u).ln_1p())
     }
 }
 
@@ -65,6 +52,17 @@ impl IncentiveProtocol for FslPos {
     fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let _ = total_stake(stakes);
         StepRewards::Winner(Self::sample_winner(stakes, rng))
+    }
+
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        debug_assert!(stakes.iter().sum::<f64>() > 0.0);
+        out.set_winner(Self::sample_winner(stakes, rng));
     }
 }
 

@@ -9,8 +9,7 @@
 //! (Theorem 4.3).
 
 use super::{assert_positive_reward, total_stake};
-use crate::miner::sample_categorical;
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// Multi-lottery Proof-of-Stake.
@@ -45,9 +44,28 @@ impl IncentiveProtocol for MlPos {
         vec![self.reward]
     }
 
-    fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
+    fn step(&self, stakes: &[f64], step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let _ = total_stake(stakes);
-        StepRewards::Winner(sample_categorical(stakes, rng))
+        let mut out = StepOutcome::new();
+        self.step_into(stakes, step, rng, &mut out);
+        out.to_rewards()
+    }
+
+    /// The compounding hot path: the proposer draw goes through the
+    /// outcome's incremental Fenwick sampler — O(log m) per block once
+    /// the game loop feeds stake credits back via
+    /// [`StepOutcome::note_weight_increment`], instead of the O(m)
+    /// re-sum-and-scan per block. Same uniform draw, same winner (the
+    /// descent inverts the same prefix-sum as the linear scan).
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        let w = out.weighted_winner(stakes, rng);
+        out.set_winner(w);
     }
 }
 

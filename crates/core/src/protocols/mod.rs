@@ -34,6 +34,52 @@ pub(crate) fn assert_positive_reward(w: f64) {
     );
 }
 
+/// The seed-then-race kernel shared by the waiting-time lotteries:
+/// miner `i` draws one uniform ticket `U_i` and waits `time(U_i) / s_i`;
+/// the smallest waiting time wins (strictly — earlier miners win ties),
+/// and zero-stake miners draw no ticket. The first positive-stake miner
+/// seeds the race unconditionally (even at an infinite waiting time), so
+/// the per-draw comparison stays a single strict `<`.
+///
+/// SL-PoS instantiates `time` with the identity (uniform tickets) and
+/// FSL-PoS with `-ln(1 − U)` (exponential tickets); keeping one kernel
+/// means the race semantics of the two protocols cannot drift apart.
+///
+/// # Panics
+/// Panics if no miner has positive stake.
+#[inline]
+pub(crate) fn waiting_time_race(
+    stakes: &[f64],
+    rng: &mut fairness_stats::rng::Xoshiro256StarStar,
+    time: impl Fn(f64) -> f64,
+) -> usize {
+    let mut iter = stakes.iter().enumerate();
+    let mut best_t = f64::INFINITY;
+    let mut best_i = usize::MAX;
+    for (i, &s) in iter.by_ref() {
+        if s > 0.0 {
+            best_t = time(rng.next_f64()) / s;
+            best_i = i;
+            break;
+        }
+    }
+    assert!(
+        best_i != usize::MAX,
+        "positive total stake guaranteed by caller"
+    );
+    for (i, &s) in iter {
+        if s <= 0.0 {
+            continue;
+        }
+        let t = time(rng.next_f64()) / s;
+        if t < best_t {
+            best_t = t;
+            best_i = i;
+        }
+    }
+    best_i
+}
+
 pub(crate) fn total_stake(stakes: &[f64]) -> f64 {
     assert!(!stakes.is_empty(), "protocol step requires miners");
     let total: f64 = stakes.iter().sum();

@@ -8,7 +8,7 @@
 
 use super::{assert_positive_reward, total_stake};
 use crate::miner::sample_categorical;
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// NEO-style PoS with a non-compounding reward asset.
@@ -57,6 +57,19 @@ impl IncentiveProtocol for Neo {
     fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let _ = total_stake(stakes);
         StepRewards::Winner(sample_categorical(&self.shares, rng))
+    }
+
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        debug_assert!(!stakes.is_empty());
+        // Fixed voting shares: one sampler build per game, O(log m) draws.
+        let w = out.weighted_winner(&self.shares, rng);
+        out.set_winner(w);
     }
 }
 

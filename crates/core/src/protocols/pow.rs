@@ -8,7 +8,7 @@
 
 use super::{assert_positive_reward, total_stake};
 use crate::miner::sample_categorical;
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// Proof-of-Work.
@@ -71,6 +71,20 @@ impl IncentiveProtocol for Pow {
             "stake vector length must match miner count"
         );
         StepRewards::Winner(sample_categorical(&self.shares, rng))
+    }
+
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        debug_assert_eq!(stakes.len(), self.shares.len());
+        // The hash-power weights never change, so the sampler keyed to
+        // `self.shares` builds once per game and every draw is O(log m).
+        let w = out.weighted_winner(&self.shares, rng);
+        out.set_winner(w);
     }
 }
 

@@ -8,7 +8,7 @@
 //! (Theorem 4.9).
 
 use super::{assert_positive_reward, total_stake};
-use crate::protocol::{IncentiveProtocol, StepRewards};
+use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// Single-lottery Proof-of-Stake.
@@ -29,24 +29,28 @@ impl SlPos {
     }
 
     /// Samples the winner of the `U_i/s_i` race. Zero-stake miners never
-    /// win.
+    /// win (and draw no ticket).
+    ///
+    /// The two-miner case — the paper's default setup and the bulk of
+    /// every sweep — is special-cased to a branch-free compare; the
+    /// general loop keeps the running best in plain registers. Both paths
+    /// perform exactly the original draw sequence and comparisons, so
+    /// winners are bit-identical to the first implementation.
+    #[inline]
     pub fn sample_winner(stakes: &[f64], rng: &mut Xoshiro256StarStar) -> usize {
-        let mut best: Option<(f64, usize)> = None;
-        for (i, &s) in stakes.iter().enumerate() {
-            if s <= 0.0 {
-                continue;
-            }
-            let u = rng.next_f64();
-            let t = u / s;
-            let better = match best {
-                None => true,
-                Some((bt, _)) => t < bt,
-            };
-            if better {
-                best = Some((t, i));
+        if let [a, b] = *stakes {
+            if a > 0.0 && b > 0.0 {
+                // First positive-stake miner seeds the race; the second
+                // wins on a strictly smaller waiting time — identical to
+                // the general loop below.
+                let ta = rng.next_f64() / a;
+                let tb = rng.next_f64() / b;
+                return usize::from(tb < ta);
             }
         }
-        best.expect("positive total stake guaranteed by caller").1
+        // Arbitrary-m path, kept out of the inlined fast path: uniform
+        // tickets into the shared seed-then-race kernel.
+        super::waiting_time_race(stakes, rng, |u| u)
     }
 }
 
@@ -66,6 +70,22 @@ impl IncentiveProtocol for SlPos {
     fn step(&self, stakes: &[f64], _step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
         let _ = total_stake(stakes);
         StepRewards::Winner(Self::sample_winner(stakes, rng))
+    }
+
+    #[inline]
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        _step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        debug_assert!(stakes.iter().sum::<f64>() > 0.0);
+        out.set_winner(Self::sample_winner(stakes, rng));
+    }
+
+    fn slpos_core_reward(&self) -> Option<f64> {
+        Some(self.reward)
     }
 }
 

@@ -16,7 +16,7 @@
 //!   why robust-fairness-preserving protocols remove the incentive to
 //!   pool.
 
-use crate::protocol::{protocol_tag, IncentiveProtocol, StepRewards};
+use crate::protocol::{protocol_tag, IncentiveProtocol, StepOutcome, StepRewards, StepRewardsView};
 use fairness_stats::rng::Xoshiro256StarStar;
 
 /// Wraps a protocol so that a designated miner's rewards never compound
@@ -80,12 +80,32 @@ impl<P: IncentiveProtocol> IncentiveProtocol for CashOut<P> {
     }
 
     fn step(&self, stakes: &[f64], step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
+        // One implementation of the step distribution: validate, then
+        // take the buffer-reuse path (the two can never drift apart).
+        let _ = crate::protocols::total_stake(stakes);
+        let mut out = StepOutcome::new();
+        self.step_into(stakes, step, rng, &mut out);
+        out.to_rewards()
+    }
+
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
         if self.miner >= stakes.len() || !self.inner.rewards_compound() {
-            return self.inner.step(stakes, step, rng);
+            return self.inner.step_into(stakes, step, rng, out);
         }
-        let mut effective = stakes.to_vec();
+        let mut effective = out.take_f64();
+        effective.extend_from_slice(stakes);
         effective[self.miner] = self.frozen_stake;
-        self.inner.step(&effective, step, rng)
+        // The effective vector is rewritten every step; a live stake
+        // sampler over its previous contents would be stale.
+        out.invalidate_weights();
+        self.inner.step_into(&effective, step, rng, out);
+        out.give_f64(effective);
     }
 }
 
@@ -152,52 +172,76 @@ impl<P: IncentiveProtocol> IncentiveProtocol for MiningPool<P> {
     }
 
     fn step(&self, stakes: &[f64], step: u64, rng: &mut Xoshiro256StarStar) -> StepRewards {
-        let m = stakes.len();
-        // Build the aggregated stake vector: non-members keep their slots,
-        // the pool occupies one synthetic slot at the end.
-        let outsiders: Vec<usize> = (0..m).filter(|&i| !self.is_member(i)).collect();
-        let pool_stake: f64 = self.members.iter().map(|&i| stakes[i]).sum();
-        let mut agg: Vec<f64> = outsiders.iter().map(|&i| stakes[i]).collect();
-        agg.push(pool_stake);
+        // One implementation of the aggregation/fan-out logic: validate,
+        // then take the buffer-reuse path.
+        let _ = crate::protocols::total_stake(stakes);
+        let mut out = StepOutcome::new();
+        self.step_into(stakes, step, rng, &mut out);
+        out.to_rewards()
+    }
 
-        let rewards = self.inner.step(&agg, step, rng);
+    fn step_into(
+        &self,
+        stakes: &[f64],
+        step: u64,
+        rng: &mut Xoshiro256StarStar,
+        out: &mut StepOutcome,
+    ) {
+        let m = stakes.len();
+        // Aggregated stake vector: non-members keep their slots, the pool
+        // occupies one synthetic slot at the end — all in pooled scratch.
+        let mut outsiders = out.take_idx();
+        outsiders.extend((0..m).filter(|&i| !self.is_member(i)));
+        let pool_stake: f64 = self.members.iter().map(|&i| stakes[i]).sum();
+        let mut agg = out.take_f64();
+        agg.extend(outsiders.iter().map(|&i| stakes[i]));
+        agg.push(pool_stake);
+        // The aggregate is rewritten every step; invalidate any live
+        // sampler over its previous contents.
+        out.invalidate_weights();
+        let mut alloc = out.take_f64();
+        alloc.resize(m, 0.0);
+
+        self.inner.step_into(&agg, step, rng, out);
+
         let total = self.reward_per_step();
-        let mut out = vec![0.0f64; m];
-        let assign_pool = |out: &mut Vec<f64>, amount: f64| {
+        let assign_pool = |alloc: &mut Vec<f64>, amount: f64| {
             if amount <= 0.0 {
                 return;
             }
             if pool_stake > 0.0 {
                 for &i in &self.members {
-                    out[i] += amount * stakes[i] / pool_stake;
+                    alloc[i] += amount * stakes[i] / pool_stake;
                 }
             } else {
                 // Degenerate: split equally if the pool holds nothing.
                 let share = amount / self.members.len() as f64;
                 for &i in &self.members {
-                    out[i] += share;
+                    alloc[i] += share;
                 }
             }
         };
-        match rewards {
-            StepRewards::Winner(w) => {
+        match out.view() {
+            StepRewardsView::Winner(w) => {
                 if w == outsiders.len() {
-                    assign_pool(&mut out, total);
+                    assign_pool(&mut alloc, total);
                 } else {
-                    out[outsiders[w]] = total;
+                    alloc[outsiders[w]] = total;
                 }
             }
-            StepRewards::Split(v) => {
+            StepRewardsView::Split(v) => {
                 for (slot, &amount) in v.iter().enumerate() {
                     if slot == outsiders.len() {
-                        assign_pool(&mut out, amount);
+                        assign_pool(&mut alloc, amount);
                     } else {
-                        out[outsiders[slot]] = amount;
+                        alloc[outsiders[slot]] = amount;
                     }
                 }
             }
         }
-        StepRewards::Split(out)
+        out.commit_split(alloc);
+        out.give_f64(agg);
+        out.give_idx(outsiders);
     }
 }
 

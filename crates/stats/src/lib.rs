@@ -24,6 +24,9 @@
 //!   ([`sa`]);
 //! * a deterministic parallel Monte-Carlo executor with an atomic-index
 //!   work-stealing scheduler ([`mc`]);
+//! * incremental weighted sampling — a Fenwick-tree sampler with O(log m)
+//!   draw and O(log m) stake update for the simulation hot path
+//!   ([`sampling`]);
 //! * memoization primitives for sweep harnesses — a thread-safe keyed cache
 //!   and a stable hasher for content-derived seeds ([`cache`]).
 
@@ -36,6 +39,7 @@ pub mod mc;
 pub mod polya;
 pub mod rng;
 pub mod sa;
+pub mod sampling;
 pub mod special;
 pub mod summary;
 
@@ -52,5 +56,6 @@ pub use mc::{run_monte_carlo, set_global_threads, McConfig};
 pub use polya::PolyaUrn;
 pub use rng::{SeedSequence, SplitMix64, Xoshiro256StarStar};
 pub use sa::{classify_zero, find_zeros, Stability};
+pub use sampling::FenwickSampler;
 pub use special::{erf, erfc, ln_gamma, reg_inc_beta, reg_lower_gamma};
 pub use summary::{quantile, FiveNumber, Welford};
