@@ -25,7 +25,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|adversarial|all]\n\
+    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|scale|ablations|extensions|adversarial|all]\n\
      \x20            [scenario FILE.scn] [list-protocols] [cache stats|verify|prune]\n\
      \x20            [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]\n\
      \x20            [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]\n\
@@ -40,6 +40,9 @@ fn usage() -> &'static str {
      \x20 fig6       FSL-PoS treatment, with and without reward withholding\n\
      \x20 table1     multi-miner game ({2..5} then 10,15,.. up to --max-miners)\n\
      \x20            + SL-PoS monopolization threshold vs miner count\n\
+     \x20 scale      million-miner sweep (m = 10,100,..,10^6): Zipf-stake fairness\n\
+     \x20            metrics + monopolization threshold via the aggregated-tail\n\
+     \x20            engine (--max-miners > 10 bounds the grid instead)\n\
      \x20 ablations  shard sweep, withholding-period sweep, Section 6.4 sketches\n\
      \x20 extensions cash-out miners, mining pools, decentralization, equitability\n\
      \x20 adversarial selfish mining (alpha x gamma on PoW) + stake grinding\n\

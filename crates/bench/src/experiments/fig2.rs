@@ -138,6 +138,6 @@ mod tests {
         assert_eq!(specs.len(), 4);
         // The paper cross-checks PoW/ML-PoS/SL-PoS on real systems.
         assert_eq!(specs.iter().filter(|s| s.system.is_some()).count(), 3);
-        assert!(specs.iter().all(|s| s.initial_shares == vec![0.2, 0.8]));
+        assert!(specs.iter().all(|s| s.initial_shares() == vec![0.2, 0.8]));
     }
 }

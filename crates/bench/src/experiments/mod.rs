@@ -35,6 +35,7 @@ mod fig3;
 mod fig4;
 mod fig5;
 mod fig6;
+mod scale;
 mod table1;
 
 pub use ablations::ablations;
@@ -48,6 +49,7 @@ pub use fig3::fig3;
 pub use fig4::fig4;
 pub use fig5::fig5;
 pub use fig6::fig6;
+pub use scale::{scale, scale_grid, tail_monopolization_threshold};
 pub use table1::{miner_counts, table1};
 
 use crate::pool::JobPool;
@@ -244,6 +246,13 @@ experiment!(
     deps: []
 );
 experiment!(
+    Scale,
+    scale::scale,
+    "scale",
+    "million-miner sweep: fairness + SL-PoS monopolization threshold vs m",
+    deps: ["table1"]
+);
+experiment!(
     Ablations,
     ablations::ablations,
     "ablations",
@@ -268,7 +277,7 @@ experiment!(
 /// All registered experiments, in canonical (presentation) order.
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 10] = [
+    static REGISTRY: [&dyn Experiment; 11] = [
         &Fig1,
         &Fig2,
         &Fig3,
@@ -276,6 +285,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &Fig5,
         &Fig6,
         &Table1,
+        &Scale,
         &Ablations,
         &Extensions,
         &AdversarialExp,

@@ -122,12 +122,12 @@ fn resolve(ctx: &ExperimentContext, spec: &ScenarioSpec) -> Result<Resolved, Sce
         scenario: spec.name.clone(),
         message,
     })?;
-    let protocol = registry::construct(&spec.protocol, &spec.initial_shares).map_err(|error| {
-        ScenarioError::Registry {
+    let shares = spec.initial_shares();
+    let protocol =
+        registry::construct(&spec.protocol, &shares).map_err(|error| ScenarioError::Registry {
             scenario: spec.name.clone(),
             error,
-        }
-    })?;
+        })?;
     let system = match &spec.system {
         None => None,
         Some(system) => {
@@ -141,7 +141,7 @@ fn resolve(ctx: &ExperimentContext, spec: &ScenarioSpec) -> Result<Resolved, Sce
     };
     Ok(Resolved {
         protocol,
-        shares: spec.initial_shares.clone(),
+        shares,
         checkpoints: spec.checkpoints.resolve(),
         repetitions: spec.repetitions.unwrap_or(ctx.opts.repetitions),
         withholding: spec.withholding.map(WithholdingSchedule::every),
@@ -303,7 +303,7 @@ pub fn scenario_report(ctx: &ExperimentContext, specs: &[ScenarioSpec]) -> io::R
             "\n\"{}\" — {} on shares {:?}, {} repetitions  csv: {}",
             spec.name,
             outcome.label,
-            spec.initial_shares,
+            spec.initial_shares(),
             outcome.summary.repetitions,
             path.display()
         );

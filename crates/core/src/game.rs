@@ -13,6 +13,7 @@
 //! * with a withholding schedule, rewards count toward income immediately
 //!   but join staking power only at period boundaries (Section 6.3).
 
+use crate::ledger::StakeLedger;
 use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewardsView};
 use crate::trajectory::Trajectory;
 use crate::withholding::WithholdingSchedule;
@@ -22,12 +23,11 @@ use fairness_stats::rng::Xoshiro256StarStar;
 #[derive(Debug, Clone)]
 pub struct MiningGame<P: IncentiveProtocol> {
     protocol: P,
-    /// Effective staking power per miner.
-    stakes: Vec<f64>,
-    /// Issued-but-not-yet-effective rewards per miner (withholding only).
-    pending: Vec<f64>,
-    /// Cumulative income per miner.
-    earned: Vec<f64>,
+    /// Struct-of-arrays per-miner state: effective stakes, pending
+    /// (withheld) rewards, and cumulative income as flat columns, with
+    /// running totals so the model invariants cost O(1) per step instead
+    /// of an O(m) re-summation.
+    ledger: StakeLedger,
     /// Completed steps.
     steps: u64,
     /// Optional reward-withholding schedule.
@@ -50,15 +50,12 @@ impl<P: IncentiveProtocol> MiningGame<P> {
     /// sum).
     #[must_use]
     pub fn new(protocol: P, initial_shares: &[f64]) -> Self {
-        let stakes = crate::miner::normalize_shares(initial_shares);
-        let m = stakes.len();
+        let ledger = StakeLedger::new(initial_shares);
         let reward_per_step = protocol.reward_per_step();
         let compounds = protocol.rewards_compound();
         Self {
             protocol,
-            stakes,
-            pending: vec![0.0; m],
-            earned: vec![0.0; m],
+            ledger,
             steps: 0,
             withholding: None,
             outcome: StepOutcome::new(),
@@ -83,7 +80,7 @@ impl<P: IncentiveProtocol> MiningGame<P> {
     /// Number of miners.
     #[must_use]
     pub fn miner_count(&self) -> usize {
-        self.stakes.len()
+        self.ledger.len()
     }
 
     /// Completed steps.
@@ -95,13 +92,27 @@ impl<P: IncentiveProtocol> MiningGame<P> {
     /// Effective staking power of miner `i`.
     #[must_use]
     pub fn stake(&self, i: usize) -> f64 {
-        self.stakes[i]
+        self.ledger.stake(i)
     }
 
     /// Cumulative income of miner `i`.
     #[must_use]
     pub fn earned(&self, i: usize) -> f64 {
-        self.earned[i]
+        self.ledger.earned(i)
+    }
+
+    /// The full stake column — borrow instead of `m` calls to
+    /// [`stake`](Self::stake) when computing decentralization metrics over
+    /// large populations.
+    #[must_use]
+    pub fn stakes(&self) -> &[f64] {
+        self.ledger.stakes()
+    }
+
+    /// The full income column, likewise.
+    #[must_use]
+    pub fn earned_column(&self) -> &[f64] {
+        self.ledger.earned_column()
     }
 
     /// Total reward issued so far.
@@ -122,7 +133,7 @@ impl<P: IncentiveProtocol> MiningGame<P> {
         if issued == 0.0 {
             0.0
         } else {
-            (self.earned[i] / issued).clamp(0.0, 1.0)
+            (self.ledger.earned(i) / issued).clamp(0.0, 1.0)
         }
     }
 
@@ -135,19 +146,20 @@ impl<P: IncentiveProtocol> MiningGame<P> {
     #[inline]
     pub fn step(&mut self, rng: &mut Xoshiro256StarStar) {
         self.protocol
-            .step_into(&self.stakes, self.steps, rng, &mut self.outcome);
+            .step_into(self.ledger.stakes(), self.steps, rng, &mut self.outcome);
         let total = self.reward_per_step;
         let is_split = match self.outcome.view() {
             StepRewardsView::Winner(w) => {
-                self.earned[w] += total;
+                self.ledger.credit_income(w, total);
                 if self.compounds {
                     if self.withholding.is_some() {
-                        self.pending[w] += total;
+                        self.ledger.pend(w, total);
                     } else {
-                        self.stakes[w] += total;
+                        self.ledger.compound(w, total);
                         // Keep the incremental stake sampler (if the
                         // protocol draws through one) in sync.
-                        self.outcome.note_weight_increment(&self.stakes, w, total);
+                        self.outcome
+                            .note_weight_increment(self.ledger.stakes(), w, total);
                     }
                 }
                 false
@@ -155,7 +167,7 @@ impl<P: IncentiveProtocol> MiningGame<P> {
             StepRewardsView::Split(alloc) => {
                 assert_eq!(
                     alloc.len(),
-                    self.stakes.len(),
+                    self.ledger.len(),
                     "protocol returned wrong allocation length"
                 );
                 // A sum check alone is not enough: entries like
@@ -170,17 +182,8 @@ impl<P: IncentiveProtocol> MiningGame<P> {
                     (alloc.iter().sum::<f64>() - total).abs() < 1e-9,
                     "allocation must sum to the step reward"
                 );
-                let withholding = self.withholding.is_some();
-                for (i, &r) in alloc.iter().enumerate() {
-                    self.earned[i] += r;
-                    if self.compounds {
-                        if withholding {
-                            self.pending[i] += r;
-                        } else {
-                            self.stakes[i] += r;
-                        }
-                    }
-                }
+                self.ledger
+                    .apply_split(alloc, self.compounds, self.withholding.is_some());
                 true
             }
         };
@@ -194,9 +197,7 @@ impl<P: IncentiveProtocol> MiningGame<P> {
         self.steps += 1;
         if let Some(schedule) = self.withholding {
             if schedule.takes_effect_after(self.steps) {
-                for (s, p) in self.stakes.iter_mut().zip(&mut self.pending) {
-                    *s += std::mem::take(p);
-                }
+                self.ledger.settle_pending();
                 // Pending rewards just landed in bulk.
                 self.outcome.invalidate_weights();
             }
@@ -215,7 +216,7 @@ impl<P: IncentiveProtocol> MiningGame<P> {
     pub fn run(&mut self, n: u64, rng: &mut Xoshiro256StarStar) {
         if n >= 2 && self.withholding.is_none() {
             if let Some(reward) = self.protocol.slpos_core_reward() {
-                if let [s0, s1] = self.stakes[..] {
+                if let [s0, s1] = *self.ledger.stakes() {
                     if s0 > 0.0 && s1 > 0.0 {
                         debug_assert_eq!(reward, self.reward_per_step);
                         self.run_slpos_two_miner(n, reward, rng);
@@ -246,8 +247,8 @@ impl<P: IncentiveProtocol> MiningGame<P> {
     /// adding `0.0` to the loser's positive earnings/stake is exact.
     /// Pinned by the `fused_kernel_matches_single_steps` test.
     fn run_slpos_two_miner(&mut self, n: u64, w: f64, rng: &mut Xoshiro256StarStar) {
-        let (mut s0, mut s1) = (self.stakes[0], self.stakes[1]);
-        let (mut e0, mut e1) = (self.earned[0], self.earned[1]);
+        let (mut s0, mut s1) = (self.ledger.stake(0), self.ledger.stake(1));
+        let (mut e0, mut e1) = (self.ledger.earned(0), self.ledger.earned(1));
         // Prologue: this step's waiting times.
         let mut ta = rng.next_f64() / s0;
         let mut tb = rng.next_f64() / s1;
@@ -276,10 +277,8 @@ impl<P: IncentiveProtocol> MiningGame<P> {
         e1 += add1;
         s0 += add0;
         s1 += add1;
-        self.stakes[0] = s0;
-        self.stakes[1] = s1;
-        self.earned[0] = e0;
-        self.earned[1] = e1;
+        self.ledger
+            .write_two_miner([s0, s1], [e0, e1], n as f64 * w);
         self.steps += n;
         // Bulk stake change relative to anything a live sampler mirrors.
         self.outcome.invalidate_weights();
@@ -298,8 +297,28 @@ impl<P: IncentiveProtocol> MiningGame<P> {
         checkpoints: &[u64],
         rng: &mut Xoshiro256StarStar,
     ) -> Trajectory {
-        let all = self.run_with_checkpoints_all(checkpoints, rng);
-        all.into_iter().next().expect("at least one miner")
+        // Track only miner 0: O(1) work per checkpoint rather than the
+        // O(m) column materialization of
+        // [`run_with_checkpoints_all`](Self::run_with_checkpoints_all),
+        // which at m = 10⁶ would dwarf the stepping itself.
+        assert!(
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
+            "checkpoints must be strictly ascending"
+        );
+        let mut values = Vec::with_capacity(checkpoints.len());
+        for &cp in checkpoints {
+            assert!(
+                cp >= self.steps,
+                "checkpoint {cp} is before current step {}",
+                self.steps
+            );
+            self.run(cp - self.steps, rng);
+            values.push(self.lambda(0));
+        }
+        Trajectory {
+            checkpoints: checkpoints.to_vec(),
+            values,
+        }
     }
 
     /// Runs to the last checkpoint, recording **every** miner's λ at each
@@ -341,20 +360,22 @@ impl<P: IncentiveProtocol> MiningGame<P> {
 
     #[cfg(debug_assertions)]
     fn check_invariants(&self) {
+        // O(1) per step via the ledger's running totals — the previous
+        // O(m) re-summation made debug builds quadratic in miner count
+        // per horizon, unusable at the populations `repro scale` probes.
         let issued = self.total_issued();
-        let earned: f64 = self.earned.iter().sum();
+        let earned = self.ledger.earned_total();
         debug_assert!(
             (earned - issued).abs() < 1e-6 * (1.0 + issued),
             "earned {earned} != issued {issued}"
         );
-        if self.protocol.rewards_compound() {
-            let power: f64 = self.stakes.iter().sum::<f64>() + self.pending.iter().sum::<f64>();
+        if self.compounds {
+            let power = self.ledger.power_total();
             debug_assert!(
                 (power - (1.0 + issued)).abs() < 1e-6 * (1.0 + issued),
                 "staking power {power} != 1 + issued {issued}"
             );
         }
-        debug_assert!(self.stakes.iter().all(|&s| s >= 0.0));
     }
 }
 

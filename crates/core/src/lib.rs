@@ -47,6 +47,7 @@ pub mod config;
 pub mod decentralization;
 pub mod fairness;
 pub mod game;
+pub mod ledger;
 pub mod miner;
 pub mod montecarlo;
 pub mod protocol;
@@ -68,13 +69,16 @@ pub use fairness::{
     equitability, expectational_gap, unfair_probability, EpsilonDelta, FairnessVerdict,
 };
 pub use game::MiningGame;
+pub use ledger::{AggregatedTailGame, StakeLedger, TailKernel};
 pub use montecarlo::{
     run_ensemble, run_ensemble_multi, summarize, BandPoint, EnsembleConfig, EnsembleSummary,
 };
 pub use protocol::{IncentiveProtocol, StepRewards};
 pub use protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
 pub use registry::{BoxedProtocol, BoxedStrategy, RegistryError};
-pub use scenario::{print_scenarios, Checkpoints, ProtocolSpec, ScenarioSpec, SystemSpec};
+pub use scenario::{
+    print_scenarios, Checkpoints, ProtocolSpec, ScenarioSpec, SharesSpec, SystemSpec,
+};
 pub use strategies::{CashOut, MiningPool};
 pub use trajectory::{linear_checkpoints, log_checkpoints, Trajectory};
 pub use withholding::WithholdingSchedule;
@@ -88,14 +92,15 @@ pub mod prelude {
     pub use crate::decentralization::DecentralizationReport;
     pub use crate::fairness::{equitability, unfair_probability, EpsilonDelta, FairnessVerdict};
     pub use crate::game::MiningGame;
-    pub use crate::miner::{equal_shares, paper_multi_miner, two_miner};
+    pub use crate::ledger::{AggregatedTailGame, StakeLedger, TailKernel};
+    pub use crate::miner::{equal_shares, paper_multi_miner, two_miner, zipf_shares};
     pub use crate::montecarlo::{
         run_ensemble, run_ensemble_multi, BandPoint, EnsembleConfig, EnsembleSummary,
     };
     pub use crate::protocol::{IncentiveProtocol, StepRewards};
     pub use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
     pub use crate::registry::{BoxedProtocol, BoxedStrategy};
-    pub use crate::scenario::{Checkpoints, ProtocolSpec, ScenarioSpec, SystemSpec};
+    pub use crate::scenario::{Checkpoints, ProtocolSpec, ScenarioSpec, SharesSpec, SystemSpec};
     pub use crate::strategies::{CashOut, MiningPool};
     pub use crate::theory;
     pub use crate::trajectory::{linear_checkpoints, log_checkpoints};

@@ -57,6 +57,18 @@ pub fn paper_multi_miner(m: usize, a: f64) -> Vec<f64> {
     shares
 }
 
+/// Zipf-distributed shares: miner `i` (0-indexed) holds weight
+/// `(i + 1)^(−exponent)`, normalized to sum to 1. The skewed stake
+/// distributions of Sakurai & Shudo's scale study; `exponent = 0` recovers
+/// [`equal_shares`].
+///
+/// # Panics
+/// Panics if `m == 0` or the exponent is negative or non-finite.
+#[must_use]
+pub fn zipf_shares(m: usize, exponent: f64) -> Vec<f64> {
+    normalize_shares(&fairness_stats::sampling::zipf_weights(m, exponent))
+}
+
 /// Samples an index from a categorical distribution given non-negative
 /// weights (not necessarily normalized).
 ///
@@ -138,6 +150,20 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(sample_categorical(&[0.0, 1.0, 0.0], &mut rng), 1);
         }
+    }
+
+    #[test]
+    fn zipf_shares_skewed_and_normalized() {
+        let s = zipf_shares(5, 1.0);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Harmonic weights 1, 1/2, ..., 1/5 over H_5.
+        let h5: f64 = (1..=5).map(|k| 1.0 / k as f64).sum();
+        assert!((s[0] - 1.0 / h5).abs() < 1e-12);
+        assert!((s[4] - 0.2 / h5).abs() < 1e-12);
+        assert!(s.windows(2).all(|w| w[0] >= w[1]), "non-increasing");
+        // Exponent 0 is uniform.
+        let flat = zipf_shares(4, 0.0);
+        assert!(flat.iter().all(|&x| (x - 0.25).abs() < 1e-15));
     }
 
     #[test]

@@ -239,6 +239,15 @@ pub enum RegistryError {
         /// The undeclared parameter.
         key: String,
     },
+    /// The spec passes the same parameter more than once. Constructors
+    /// read the *first* occurrence, so silently accepting duplicates would
+    /// both mislead the author and print a form the `.scn` parser rejects.
+    DuplicateParam {
+        /// Protocol or strategy being constructed.
+        name: String,
+        /// The repeated parameter.
+        key: String,
+    },
     /// A parameter has the wrong shape or an out-of-domain value.
     BadParam {
         /// Protocol or strategy being constructed.
@@ -264,6 +273,9 @@ impl fmt::Display for RegistryError {
             }
             RegistryError::UnknownParam { name, key } => {
                 write!(f, "`{name}` takes no parameter `{key}`")
+            }
+            RegistryError::DuplicateParam { name, key } => {
+                write!(f, "`{name}` parameter `{key}` is given more than once")
             }
             RegistryError::BadParam { name, key, message } => {
                 write!(f, "`{name}` parameter `{key}`: {message}")
@@ -434,9 +446,15 @@ impl<'a> Args<'a> {
         spec: &'a ProtocolSpec,
         declared: &'static [ParamInfo],
     ) -> Result<Self, RegistryError> {
-        for (key, _) in &spec.args {
+        for (i, (key, _)) in spec.args.iter().enumerate() {
             if !declared.iter().any(|p| p.key == key) {
                 return Err(RegistryError::UnknownParam {
+                    name: name.to_owned(),
+                    key: key.clone(),
+                });
+            }
+            if spec.args[..i].iter().any(|(k, _)| k == key) {
+                return Err(RegistryError::DuplicateParam {
                     name: name.to_owned(),
                     key: key.clone(),
                 });

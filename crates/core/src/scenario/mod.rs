@@ -142,6 +142,27 @@ impl fmt::Display for ProtocolSpec {
     }
 }
 
+/// Rejects a protocol spec (recursively) that passes any parameter more
+/// than once. The text parser already refuses such input with a
+/// line-numbered error; this guards the builder path, where a duplicated
+/// `.with(key, ...)` would otherwise print a form the parser rejects —
+/// silently breaking the `parse(print(spec)) == spec` round-trip — while
+/// construction quietly used the first value.
+fn check_no_duplicate_args(spec: &ProtocolSpec) -> Result<(), String> {
+    for (i, (key, value)) in spec.args.iter().enumerate() {
+        if spec.args[..i].iter().any(|(k, _)| k == key) {
+            return Err(format!(
+                "protocol `{}` passes parameter `{key}` more than once",
+                spec.name
+            ));
+        }
+        if let ArgValue::Spec(inner) = value {
+            check_no_duplicate_args(inner)?;
+        }
+    }
+    Ok(())
+}
+
 fn write_list(f: &mut fmt::Formatter<'_>, vs: &[f64]) -> fmt::Result {
     write!(f, "[")?;
     for (i, v) in vs.iter().enumerate() {
@@ -149,6 +170,76 @@ fn write_list(f: &mut fmt::Formatter<'_>, vs: &[f64]) -> fmt::Result {
             write!(f, ", ")?;
         }
         write!(f, "{v}")?;
+    }
+    write!(f, "]")
+}
+
+/// The initial stake distribution of a scenario — explicit shares, or a
+/// named generator so a million-miner population is one line of text
+/// instead of a million numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SharesSpec {
+    /// Explicit (unnormalized) shares, one per miner.
+    Explicit(Vec<f64>),
+    /// `count` miners with rank-`k` weight `k^(−exponent)` (1-indexed,
+    /// miner 0 the richest) — the skewed populations of the Sakurai &
+    /// Shudo scale study. `exponent = 0` is a uniform population.
+    Zipf {
+        /// Number of miners.
+        count: usize,
+        /// Zipf exponent `s ≥ 0`.
+        exponent: f64,
+    },
+    /// Measured (empirical) stakes, e.g. real chain balances. Semantically
+    /// the same as [`Explicit`](Self::Explicit) — the variant records that
+    /// the numbers are data, not a designed configuration, and prints as
+    /// `empirical([...])`.
+    Empirical(Vec<f64>),
+}
+
+impl SharesSpec {
+    /// Number of miners without materializing the share vector.
+    #[must_use]
+    pub fn miner_count(&self) -> usize {
+        match self {
+            SharesSpec::Explicit(shares) | SharesSpec::Empirical(shares) => shares.len(),
+            SharesSpec::Zipf { count, .. } => *count,
+        }
+    }
+
+    /// Materializes the (unnormalized) share vector.
+    #[must_use]
+    pub fn resolve(&self) -> Vec<f64> {
+        match self {
+            SharesSpec::Explicit(shares) | SharesSpec::Empirical(shares) => shares.clone(),
+            SharesSpec::Zipf { count, exponent } => {
+                fairness_stats::sampling::zipf_weights(*count, *exponent)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SharesSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharesSpec::Explicit(shares) => write_share_list(f, shares),
+            SharesSpec::Zipf { count, exponent } => write!(f, "zipf({count}, {exponent})"),
+            SharesSpec::Empirical(shares) => {
+                write!(f, "empirical(")?;
+                write_share_list(f, shares)?;
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn write_share_list(f: &mut fmt::Formatter<'_>, shares: &[f64]) -> fmt::Result {
+    write!(f, "[")?;
+    for (i, s) in shares.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{s}")?;
     }
     write!(f, "]")
 }
@@ -238,8 +329,9 @@ pub struct ScenarioSpec {
     pub name: String,
     /// Protocol to run, by registry name + params.
     pub protocol: ProtocolSpec,
-    /// Initial resource shares (miner 0 is the tracked miner A).
-    pub initial_shares: Vec<f64>,
+    /// Initial resource shares (miner 0 is the tracked miner A) — explicit
+    /// or generated (Zipf / empirical).
+    pub shares: SharesSpec,
     /// Checkpoint grid.
     pub checkpoints: Checkpoints,
     /// Monte-Carlo repetitions; `None` inherits the runner's default
@@ -259,7 +351,7 @@ impl ScenarioSpec {
             spec: ScenarioSpec {
                 name: name.into(),
                 protocol,
-                initial_shares: Vec::new(),
+                shares: SharesSpec::Explicit(Vec::new()),
                 checkpoints: Checkpoints::Explicit(Vec::new()),
                 repetitions: None,
                 withholding: None,
@@ -283,18 +375,29 @@ impl ScenarioSpec {
         if self.protocol.name.is_empty() {
             return Err("protocol name must be non-empty".into());
         }
-        if self.initial_shares.is_empty() {
-            return Err("shares must be non-empty".into());
-        }
-        if !self
-            .initial_shares
-            .iter()
-            .all(|s| s.is_finite() && *s >= 0.0)
-        {
-            return Err("shares must be finite and non-negative".into());
-        }
-        if self.initial_shares.iter().sum::<f64>() <= 0.0 {
-            return Err("shares must sum to a positive total".into());
+        check_no_duplicate_args(&self.protocol)?;
+        match &self.shares {
+            SharesSpec::Explicit(shares) | SharesSpec::Empirical(shares) => {
+                if shares.is_empty() {
+                    return Err("shares must be non-empty".into());
+                }
+                if !shares.iter().all(|s| s.is_finite() && *s >= 0.0) {
+                    return Err("shares must be finite and non-negative".into());
+                }
+                if shares.iter().sum::<f64>() <= 0.0 {
+                    return Err("shares must sum to a positive total".into());
+                }
+            }
+            SharesSpec::Zipf { count, exponent } => {
+                if *count == 0 {
+                    return Err("zipf shares need at least one miner".into());
+                }
+                if !exponent.is_finite() || *exponent < 0.0 {
+                    return Err(format!(
+                        "zipf exponent must be finite and non-negative, got {exponent}"
+                    ));
+                }
+            }
         }
         let checkpoints = self.checkpoints.resolve();
         if checkpoints.is_empty() {
@@ -316,11 +419,17 @@ impl ScenarioSpec {
             if system.horizon == 0 {
                 return Err("system horizon must be positive".into());
             }
-            if self.initial_shares.len() != 2 {
+            if self.shares.miner_count() != 2 {
                 return Err("system cross-checks support exactly two miners".into());
             }
         }
         Ok(())
+    }
+
+    /// Materializes the (unnormalized) initial share vector.
+    #[must_use]
+    pub fn initial_shares(&self) -> Vec<f64> {
+        self.shares.resolve()
     }
 
     /// A stable digest of the scenario's semantic content (everything but
@@ -339,8 +448,12 @@ impl ScenarioSpec {
         let mut h = StableHasher::new();
         h.write_str("scenario-v1");
         self.protocol.hash_into(&mut h);
-        h.write_u64(self.initial_shares.len() as u64);
-        for s in &self.initial_shares {
+        // Hash the *resolved* shares: `zipf(3, 0)` and `[1, 1, 1]` name
+        // the same population and share one digest (mirroring how Linear
+        // and the equivalent Explicit grid share one computation).
+        let shares = self.shares.resolve();
+        h.write_u64(shares.len() as u64);
+        for s in &shares {
             h.write_f64(*s);
         }
         let checkpoints = self.checkpoints.resolve();
@@ -393,14 +506,7 @@ impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "scenario \"{}\" {{", self.name)?;
         writeln!(f, "  protocol = {}", self.protocol)?;
-        write!(f, "  shares = [")?;
-        for (i, s) in self.initial_shares.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{s}")?;
-        }
-        writeln!(f, "]")?;
+        writeln!(f, "  shares = {}", self.shares)?;
         writeln!(f, "  checkpoints = {}", self.checkpoints)?;
         if let Some(reps) = self.repetitions {
             writeln!(f, "  repetitions = {reps}")?;
@@ -441,11 +547,30 @@ pub struct ScenarioBuilder {
 }
 
 impl ScenarioBuilder {
-    /// Sets the initial shares.
+    /// Sets explicit initial shares.
     #[must_use]
     pub fn shares(mut self, shares: &[f64]) -> Self {
-        self.spec.initial_shares = shares.to_vec();
+        self.spec.shares = SharesSpec::Explicit(shares.to_vec());
         self
+    }
+
+    /// Sets any share distribution (explicit, Zipf or empirical).
+    #[must_use]
+    pub fn shares_spec(mut self, shares: SharesSpec) -> Self {
+        self.spec.shares = shares;
+        self
+    }
+
+    /// `count` miners with Zipf-distributed stakes at the given exponent.
+    #[must_use]
+    pub fn zipf(self, count: usize, exponent: f64) -> Self {
+        self.shares_spec(SharesSpec::Zipf { count, exponent })
+    }
+
+    /// Measured (empirical) stakes.
+    #[must_use]
+    pub fn empirical(self, shares: &[f64]) -> Self {
+        self.shares_spec(SharesSpec::Empirical(shares.to_vec()))
     }
 
     /// Two miners at `a / 1 − a` (the paper's default shape).
@@ -567,7 +692,7 @@ mod tests {
         assert_eq!(a.fingerprint(), renamed.fingerprint());
         // Everything semantic moves the digest.
         let mut spec = a.clone();
-        spec.initial_shares = vec![0.4, 0.6];
+        spec.shares = SharesSpec::Explicit(vec![0.4, 0.6]);
         assert_ne!(a.fingerprint(), spec.fingerprint());
         let mut spec = a.clone();
         spec.repetitions = None;
@@ -624,14 +749,48 @@ mod tests {
         let cases: Vec<(&str, Mutation)> = vec![
             ("empty name", Box::new(|s| s.name.clear())),
             ("quoted name", Box::new(|s| s.name = "a\"b".into())),
-            ("no shares", Box::new(|s| s.initial_shares.clear())),
+            (
+                "no shares",
+                Box::new(|s| s.shares = SharesSpec::Explicit(Vec::new())),
+            ),
             (
                 "negative share",
-                Box::new(|s| s.initial_shares = vec![-0.1, 1.1]),
+                Box::new(|s| s.shares = SharesSpec::Explicit(vec![-0.1, 1.1])),
             ),
             (
                 "zero total",
-                Box::new(|s| s.initial_shares = vec![0.0, 0.0]),
+                Box::new(|s| s.shares = SharesSpec::Empirical(vec![0.0, 0.0])),
+            ),
+            (
+                "empty zipf",
+                Box::new(|s| {
+                    s.shares = SharesSpec::Zipf {
+                        count: 0,
+                        exponent: 1.0,
+                    }
+                }),
+            ),
+            (
+                "negative zipf exponent",
+                Box::new(|s| {
+                    s.shares = SharesSpec::Zipf {
+                        count: 10,
+                        exponent: -0.5,
+                    }
+                }),
+            ),
+            (
+                "duplicate protocol parameter",
+                Box::new(|s| s.protocol = ProtocolSpec::new("pow").with("w", 0.01).with("w", 0.02)),
+            ),
+            (
+                "duplicate nested parameter",
+                Box::new(|s| {
+                    s.protocol = ProtocolSpec::new("cash-out").with(
+                        "inner",
+                        ProtocolSpec::new("ml-pos").with("w", 0.01).with("w", 0.02),
+                    )
+                }),
             ),
             (
                 "descending checkpoints",
@@ -646,7 +805,7 @@ mod tests {
             (
                 "system needs two miners",
                 Box::new(|s| {
-                    s.initial_shares = vec![0.2, 0.3, 0.5];
+                    s.shares = SharesSpec::Explicit(vec![0.2, 0.3, 0.5]);
                     s.system = Some(SystemSpec {
                         engine: "pow".into(),
                         horizon: 100,

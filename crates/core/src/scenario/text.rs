@@ -10,7 +10,7 @@
 //! scenario "selfish a=0.30 gamma=0.5" {
 //!   protocol = adversary(inner = pow(w = 0.01),
 //!                        strategy = selfish-mining(gamma = 0.5))
-//!   shares = [0.3, 0.7]
+//!   shares = [0.3, 0.7]               # or zipf(1000000, 1.2) or empirical([5.1, 2.0, 0.4])
 //!   checkpoints = linear(2000, 10)    # or log(100000, 4) or [10, 50, 100]
 //!   repetitions = 2000                # optional: defaults to --reps
 //!   withholding = 1000                # optional: Section 6.3 schedule
@@ -22,7 +22,7 @@
 //! shortest round-tripping representation, so values survive the
 //! print→parse cycle bit-exactly.
 
-use super::{ArgValue, Checkpoints, ProtocolSpec, ScenarioSpec, SystemSpec};
+use super::{ArgValue, Checkpoints, ProtocolSpec, ScenarioSpec, SharesSpec, SystemSpec};
 use std::fmt;
 
 /// A parse failure, with the 1-based line it was detected on.
@@ -319,6 +319,38 @@ impl Parser {
         }
     }
 
+    /// An explicit `[...]` list, `zipf(count, exponent)` or
+    /// `empirical([...])`.
+    fn shares_spec(&mut self) -> Result<SharesSpec, ParseError> {
+        match self.peek() {
+            Some(Token::Punct('[')) => {
+                self.pos += 1;
+                Ok(SharesSpec::Explicit(self.number_list()?))
+            }
+            Some(Token::Ident(kind)) if kind == "zipf" => {
+                self.pos += 1;
+                self.expect_punct('(')?;
+                let count = self.usize("count")?;
+                self.expect_punct(',')?;
+                let exponent = self.f64()?;
+                self.expect_punct(')')?;
+                Ok(SharesSpec::Zipf { count, exponent })
+            }
+            Some(Token::Ident(kind)) if kind == "empirical" => {
+                self.pos += 1;
+                self.expect_punct('(')?;
+                self.expect_punct('[')?;
+                let values = self.number_list()?;
+                self.expect_punct(')')?;
+                Ok(SharesSpec::Empirical(values))
+            }
+            _ => Err(self.error(
+                "expected shares: an explicit `[s1, s2, ...]` list, `zipf(count, exponent)` \
+                 or `empirical([s1, s2, ...])`",
+            )),
+        }
+    }
+
     fn checkpoints(&mut self) -> Result<Checkpoints, ParseError> {
         match self.peek() {
             Some(Token::Punct('[')) => {
@@ -419,7 +451,7 @@ impl Parser {
         };
         self.expect_punct('{')?;
         let mut protocol: Option<ProtocolSpec> = None;
-        let mut shares: Option<Vec<f64>> = None;
+        let mut shares: Option<SharesSpec> = None;
         let mut checkpoints: Option<Checkpoints> = None;
         let mut repetitions: Option<usize> = None;
         let mut withholding: Option<u64> = None;
@@ -436,8 +468,7 @@ impl Parser {
                             protocol = Some(self.protocol_spec()?);
                         }
                         "shares" if shares.is_none() => {
-                            self.expect_punct('[')?;
-                            shares = Some(self.number_list()?);
+                            shares = Some(self.shares_spec()?);
                         }
                         "checkpoints" if checkpoints.is_none() => {
                             checkpoints = Some(self.checkpoints()?);
@@ -474,12 +505,12 @@ impl Parser {
             message: format!("scenario \"{name}\" is missing the `{what}` field"),
         };
         let protocol = protocol.ok_or_else(|| missing("protocol"))?;
-        let initial_shares = shares.ok_or_else(|| missing("shares"))?;
+        let shares = shares.ok_or_else(|| missing("shares"))?;
         let checkpoints = checkpoints.ok_or_else(|| missing("checkpoints"))?;
         let spec = ScenarioSpec {
             name,
             protocol,
-            initial_shares,
+            shares,
             checkpoints,
             repetitions,
             withholding,
@@ -553,7 +584,7 @@ scenario "fsl withholding" {
         assert_eq!(specs[0].name, "selfish a=0.30 gamma=0.5");
         assert_eq!(specs[0].protocol.name, "adversary");
         assert_eq!(specs[0].repetitions, Some(500));
-        assert_eq!(specs[0].initial_shares, vec![0.3, 0.7]);
+        assert_eq!(specs[0].initial_shares(), vec![0.3, 0.7]);
         let Some(ArgValue::Spec(inner)) = specs[0].protocol.get("inner") else {
             panic!("inner spec");
         };
@@ -579,6 +610,63 @@ scenario "fsl withholding" {
         assert_eq!(specs, reparsed);
         // And printing is a fixed point.
         assert_eq!(printed, print_scenarios(&reparsed));
+    }
+
+    #[test]
+    fn zipf_and_empirical_shares_parse_and_round_trip() {
+        let text = r#"
+scenario "million miners" {
+  protocol = ml-pos(w = 0.01)
+  shares = zipf(1000000, 1.2)
+  checkpoints = log(100000, 4)
+}
+
+scenario "measured stakes" {
+  protocol = sl-pos(w = 0.01)
+  shares = empirical([5.1, 2.0, 0.4])
+  checkpoints = [10, 100]
+}
+"#;
+        let specs = parse_scenarios(text).expect("parses");
+        assert_eq!(
+            specs[0].shares,
+            SharesSpec::Zipf {
+                count: 1_000_000,
+                exponent: 1.2
+            }
+        );
+        assert_eq!(specs[0].shares.miner_count(), 1_000_000);
+        assert_eq!(specs[1].shares, SharesSpec::Empirical(vec![5.1, 2.0, 0.4]));
+        assert_eq!(specs[1].initial_shares(), vec![5.1, 2.0, 0.4]);
+        let printed = print_scenarios(&specs);
+        assert!(printed.contains("shares = zipf(1000000, 1.2)"));
+        assert!(printed.contains("shares = empirical([5.1, 2, 0.4])"));
+        let reparsed = parse_scenarios(&printed).expect("printed form parses");
+        assert_eq!(specs, reparsed);
+    }
+
+    #[test]
+    fn bad_share_generators_are_line_numbered_errors() {
+        let check = |text: &str, line: usize, needle: &str| {
+            let err = parse_scenarios(text).expect_err(needle);
+            assert_eq!(err.line, line, "{err}");
+            assert!(err.message.contains(needle), "`{}`", err.message);
+        };
+        check(
+            "scenario \"x\" {\n  protocol = pow\n  shares = zipf(0, 1.0)\n  checkpoints = [10]\n}",
+            1,
+            "at least one miner",
+        );
+        check(
+            "scenario \"x\" {\n  protocol = pow\n  shares = zipf(10, -1)\n  checkpoints = [10]\n}",
+            1,
+            "exponent",
+        );
+        check(
+            "scenario \"x\" {\n  protocol = pow\n  shares = bogus(3)\n  checkpoints = [10]\n}",
+            3,
+            "expected shares",
+        );
     }
 
     #[test]

@@ -65,26 +65,50 @@ fn allocations_during_steps<P: IncentiveProtocol>(
     ALLOCATIONS.load(Ordering::Relaxed) - before
 }
 
+/// Asserts a game's steady state is allocation-free. The counter is
+/// process-global, so a stray allocation from the test harness's own
+/// threads (libtest runs the test off the main thread) can land inside an
+/// armed window; a *real* hot-path regression allocates in **every**
+/// window, so the claim is retried on the same warm game before failing.
+fn assert_steady_state_clean<P: IncentiveProtocol>(
+    name: &str,
+    game: &mut MiningGame<P>,
+    rng: &mut Xoshiro256StarStar,
+) {
+    // Warm-up: first steps may populate scratch pools and build the
+    // incremental sampler.
+    game.run(16, rng);
+    let mut last = 0;
+    for _attempt in 0..3 {
+        last = allocations_during_steps(game, rng, 256);
+        if last == 0 {
+            return;
+        }
+    }
+    panic!(
+        "{name} with {} miners allocated {last} times in 256 steady-state steps \
+         (in three consecutive windows)",
+        game.miner_count()
+    );
+}
+
 #[test]
 fn steady_state_stepping_never_allocates() {
-    // Three miners so split protocols and the sampler have real work; the
-    // same check at ten miners guards the multi-miner sweeps.
-    for shares in [paper_multi_miner(3, 0.2), paper_multi_miner(10, 0.2)] {
+    // Three miners so split protocols and the sampler have real work; ten
+    // miners guards the multi-miner sweeps; ten thousand guards the
+    // struct-of-arrays ledger at population scale — the `scale` experiment
+    // runs to 10⁶ miners, and any per-step O(m) materialization or hidden
+    // Vec would surface here long before wall-clock does.
+    for shares in [
+        paper_multi_miner(3, 0.2),
+        paper_multi_miner(10, 0.2),
+        paper_multi_miner(10_000, 0.2),
+    ] {
         macro_rules! check {
             ($name:literal, $protocol:expr) => {{
                 let mut game = MiningGame::new($protocol, &shares);
                 let mut rng = Xoshiro256StarStar::new(7);
-                // Warm-up: first steps may populate scratch pools and
-                // build the incremental sampler.
-                game.run(16, &mut rng);
-                let allocs = allocations_during_steps(&mut game, &mut rng, 256);
-                assert_eq!(
-                    allocs,
-                    0,
-                    "{} with {} miners allocated {allocs} times in 256 steady-state steps",
-                    $name,
-                    shares.len()
-                );
+                assert_steady_state_clean($name, &mut game, &mut rng);
             }};
         }
         check!("pow", Pow::new(&shares, 0.01));
@@ -100,14 +124,21 @@ fn steady_state_stepping_never_allocates() {
     // The software-pipelined two-miner SL-PoS kernel (taken by `run`, not
     // `step`) must be allocation-free too. Same test fn as above: a
     // second #[test] would run on a parallel thread whose setup
-    // allocations race the armed counter.
+    // allocations race the armed counter. Same retry rationale as
+    // `assert_steady_state_clean`.
     let mut game = MiningGame::new(SlPos::new(0.01), &[0.2, 0.8]);
     let mut rng = Xoshiro256StarStar::new(9);
     game.run(16, &mut rng);
-    let before = ALLOCATIONS.load(Ordering::Relaxed);
-    COUNTING.store(true, Ordering::Relaxed);
-    game.run(4096, &mut rng);
-    COUNTING.store(false, Ordering::Relaxed);
-    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
-    assert_eq!(allocs, 0, "fused SL-PoS kernel allocated {allocs} times");
+    let mut last = 0;
+    for _attempt in 0..3 {
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        COUNTING.store(true, Ordering::Relaxed);
+        game.run(4096, &mut rng);
+        COUNTING.store(false, Ordering::Relaxed);
+        last = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        if last == 0 {
+            return;
+        }
+    }
+    panic!("fused SL-PoS kernel allocated {last} times in three consecutive windows");
 }

@@ -1,0 +1,356 @@
+//! Equivalence suite pinning the [`StakeLedger`] struct-of-arrays engine
+//! to the pre-refactor per-miner stepping path.
+//!
+//! Two independent instruments, mirroring the `fused_kernel_matches_single_steps`
+//! pattern from the SL-PoS kernel work:
+//!
+//! 1. **Golden fixtures** — 66 digests (11 protocol specs × m ∈ {3, 7, 40}
+//!    × withholding on/off) captured from the tree *before* the ledger
+//!    refactor, hashing every checkpoint λ of every miner plus all final
+//!    stakes and earnings. The ledger path must reproduce each digest
+//!    bit-for-bit.
+//! 2. **A reference stepper** — a deliberately naive re-implementation of
+//!    the old per-miner reward loop, kept here so it can never "drift
+//!    along" with engine changes. Property tests drive both engines over
+//!    random protocols, miner counts, seeds, and withholding schedules and
+//!    demand bitwise-equal columns and aligned RNG streams after every
+//!    step.
+
+use fairness_core::game::MiningGame;
+use fairness_core::miner::paper_multi_miner;
+use fairness_core::protocol::{IncentiveProtocol, StepOutcome, StepRewardsView};
+use fairness_core::registry::{self, BoxedProtocol};
+use fairness_core::scenario::ProtocolSpec;
+use fairness_core::withholding::WithholdingSchedule;
+use fairness_stats::cache::StableHasher;
+use fairness_stats::rng::Xoshiro256StarStar;
+use proptest::prelude::*;
+
+/// The 8 base protocols and 3 adapters at their paper-default parameters.
+fn protocol_specs() -> Vec<(&'static str, ProtocolSpec)> {
+    vec![
+        ("pow", ProtocolSpec::new("pow").with("w", 0.01)),
+        ("ml-pos", ProtocolSpec::new("ml-pos").with("w", 0.01)),
+        ("sl-pos", ProtocolSpec::new("sl-pos").with("w", 0.01)),
+        ("fsl-pos", ProtocolSpec::new("fsl-pos").with("w", 0.01)),
+        (
+            "c-pos",
+            ProtocolSpec::new("c-pos")
+                .with("w", 0.01)
+                .with("v", 0.1)
+                .with("shards", 8.0),
+        ),
+        ("neo", ProtocolSpec::new("neo").with("w", 0.01)),
+        ("algorand", ProtocolSpec::new("algorand").with("v", 0.1)),
+        (
+            "eos",
+            ProtocolSpec::new("eos").with("w", 0.01).with("v", 0.1),
+        ),
+        (
+            "cash-out",
+            ProtocolSpec::new("cash-out")
+                .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                .with("miner", 0.0)
+                .with("stake", 0.25),
+        ),
+        (
+            "mining-pool",
+            ProtocolSpec::new("mining-pool")
+                .with("inner", ProtocolSpec::new("sl-pos").with("w", 0.01))
+                .with("members", vec![0.0, 1.0]),
+        ),
+        (
+            "adversary",
+            ProtocolSpec::new("adversary")
+                .with("inner", ProtocolSpec::new("pow").with("w", 0.01))
+                .with(
+                    "strategy",
+                    ProtocolSpec::new("selfish-mining").with("gamma", 0.5),
+                ),
+        ),
+    ]
+}
+
+/// Digests captured from commit 61d2c4d (pre-`StakeLedger`), keyed by
+/// (protocol, m, withholding-enabled). Regenerate ONLY if the simulation
+/// semantics intentionally change — these are the proof that the
+/// struct-of-arrays engine altered nothing.
+const GOLDEN: &[(&str, usize, bool, u64)] = &[
+    ("pow", 3, false, 0xe67ceb2c9b10d07b),
+    ("pow", 3, true, 0xe67ceb2c9b10d07b),
+    ("ml-pos", 3, false, 0x4be366ed44351def),
+    ("ml-pos", 3, true, 0x65944d5fb622a5b3),
+    ("sl-pos", 3, false, 0x2ab232400d678788),
+    ("sl-pos", 3, true, 0x5021386ef490023c),
+    ("fsl-pos", 3, false, 0x51b2cc829f384150),
+    ("fsl-pos", 3, true, 0x47f45f9e6097b0bb),
+    ("c-pos", 3, false, 0xff906ad13ab012f1),
+    ("c-pos", 3, true, 0x99b07b22b081e8d2),
+    ("neo", 3, false, 0xe67ceb2c9b10d07b),
+    ("neo", 3, true, 0xe67ceb2c9b10d07b),
+    ("algorand", 3, false, 0xcc12424726dacfe1),
+    ("algorand", 3, true, 0x4226c797eb3556a3),
+    ("eos", 3, false, 0xeb512c2bdc2f98ba),
+    ("eos", 3, true, 0xaef1233f05d11b8a),
+    ("cash-out", 3, false, 0xb9b5311874309b86),
+    ("cash-out", 3, true, 0x91c56f40f310df70),
+    ("mining-pool", 3, false, 0x8a92b031ba4ca9e2),
+    ("mining-pool", 3, true, 0xdb9ace47027ac1fb),
+    ("adversary", 3, false, 0x58647b1eefe23cc2),
+    ("adversary", 3, true, 0x58647b1eefe23cc2),
+    ("pow", 7, false, 0x4c05d5ac5a98832f),
+    ("pow", 7, true, 0x4c05d5ac5a98832f),
+    ("ml-pos", 7, false, 0x29afc8df5599ae0d),
+    ("ml-pos", 7, true, 0x4274d1f05b1beb9c),
+    ("sl-pos", 7, false, 0x97ec00f8fce63ff4),
+    ("sl-pos", 7, true, 0x2413e1d8d453937a),
+    ("fsl-pos", 7, false, 0xe2e76bc8c2c6354c),
+    ("fsl-pos", 7, true, 0x65e27c2d4f27c2f3),
+    ("c-pos", 7, false, 0xe77a4bf08079bd0a),
+    ("c-pos", 7, true, 0xe0a7373a6f0c2761),
+    ("neo", 7, false, 0x4c05d5ac5a98832f),
+    ("neo", 7, true, 0x4c05d5ac5a98832f),
+    ("algorand", 7, false, 0x8748797ee4fc593e),
+    ("algorand", 7, true, 0x3f267d30380eac78),
+    ("eos", 7, false, 0xd8c93c11cd0c9e3e),
+    ("eos", 7, true, 0x49c686bb12a02135),
+    ("cash-out", 7, false, 0x7ca8af3c1d1201dd),
+    ("cash-out", 7, true, 0x6065aa417910cbbc),
+    ("mining-pool", 7, false, 0xa7f2e5a36c439ef1),
+    ("mining-pool", 7, true, 0x5136e3504a8154b2),
+    ("adversary", 7, false, 0xdbd87ccffc7b5d00),
+    ("adversary", 7, true, 0xdbd87ccffc7b5d00),
+    ("pow", 40, false, 0x7c6938cd7d669b54),
+    ("pow", 40, true, 0x7c6938cd7d669b54),
+    ("ml-pos", 40, false, 0x7540755a128b2db9),
+    ("ml-pos", 40, true, 0x7367c43d6b3fdc92),
+    ("sl-pos", 40, false, 0x664ff1cdee49bf46),
+    ("sl-pos", 40, true, 0x96544d24642b903d),
+    ("fsl-pos", 40, false, 0x5fe53e8685edbdf8),
+    ("fsl-pos", 40, true, 0xf260271fa0bcd212),
+    ("c-pos", 40, false, 0xac32b474df41a1d2),
+    ("c-pos", 40, true, 0x79b8bbd362499f62),
+    ("neo", 40, false, 0x7c6938cd7d669b54),
+    ("neo", 40, true, 0x7c6938cd7d669b54),
+    ("algorand", 40, false, 0x1fa142f531043534),
+    ("algorand", 40, true, 0x393c204e7ff60947),
+    ("eos", 40, false, 0xe0c2a637be5fec44),
+    ("eos", 40, true, 0xb1fa370eb07b7b11),
+    ("cash-out", 40, false, 0x34ed6e51b028b7b8),
+    ("cash-out", 40, true, 0xbda36a8c5165c6ce),
+    ("mining-pool", 40, false, 0xfe655e3f1a318404),
+    ("mining-pool", 40, true, 0x5b6a65fe270cbf8d),
+    ("adversary", 40, false, 0xddb75ce831f27a46),
+    ("adversary", 40, true, 0xddb75ce831f27a46),
+];
+
+fn digest_run(name: &str, m: usize, withholding: Option<u64>) -> u64 {
+    let shares = paper_multi_miner(m, 0.2);
+    let spec = protocol_specs()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .expect("known protocol")
+        .1;
+    let protocol = registry::construct(&spec, &shares).expect("constructs");
+    let mut game = MiningGame::new(protocol, &shares);
+    if let Some(period) = withholding {
+        game = game.with_withholding(WithholdingSchedule::every(period));
+    }
+    let mut rng = Xoshiro256StarStar::new(0xC0FFEE ^ m as u64);
+    let trajs = game.run_with_checkpoints_all(&[10, 60, 300], &mut rng);
+    let mut h = StableHasher::new();
+    for t in &trajs {
+        for v in &t.values {
+            h.write_f64(*v);
+        }
+    }
+    for i in 0..m {
+        h.write_f64(game.stake(i));
+        h.write_f64(game.earned(i));
+    }
+    h.finish()
+}
+
+/// Every protocol × population × withholding combination reproduces its
+/// pre-refactor digest bit-for-bit through the ledger engine.
+#[test]
+fn ledger_path_matches_pre_refactor_goldens() {
+    for &(name, m, wh, expected) in GOLDEN {
+        let got = digest_run(name, m, if wh { Some(50) } else { None });
+        assert_eq!(
+            got, expected,
+            "{name} at m={m} (withholding: {wh}) diverged from the \
+             pre-StakeLedger engine: 0x{got:016x} != 0x{expected:016x}"
+        );
+    }
+}
+
+/// The pre-refactor stepping loop, verbatim: parallel per-miner vectors,
+/// per-element reward application, no running totals. Kept naive on
+/// purpose — it is the specification the ledger engine is tested against.
+struct ReferenceGame {
+    protocol: BoxedProtocol,
+    stakes: Vec<f64>,
+    pending: Vec<f64>,
+    earned: Vec<f64>,
+    steps: u64,
+    withholding: Option<WithholdingSchedule>,
+    outcome: StepOutcome,
+    reward_per_step: f64,
+    compounds: bool,
+}
+
+impl ReferenceGame {
+    fn new(protocol: BoxedProtocol, initial_shares: &[f64]) -> Self {
+        let stakes = fairness_core::miner::normalize_shares(initial_shares);
+        let m = stakes.len();
+        let reward_per_step = protocol.reward_per_step();
+        let compounds = protocol.rewards_compound();
+        Self {
+            protocol,
+            stakes,
+            pending: vec![0.0; m],
+            earned: vec![0.0; m],
+            steps: 0,
+            withholding: None,
+            outcome: StepOutcome::new(),
+            reward_per_step,
+            compounds,
+        }
+    }
+
+    fn step(&mut self, rng: &mut Xoshiro256StarStar) {
+        self.protocol
+            .step_into(&self.stakes, self.steps, rng, &mut self.outcome);
+        let total = self.reward_per_step;
+        let is_split = match self.outcome.view() {
+            StepRewardsView::Winner(w) => {
+                self.earned[w] += total;
+                if self.compounds {
+                    if self.withholding.is_some() {
+                        self.pending[w] += total;
+                    } else {
+                        self.stakes[w] += total;
+                        self.outcome.note_weight_increment(&self.stakes, w, total);
+                    }
+                }
+                false
+            }
+            StepRewardsView::Split(alloc) => {
+                let withholding = self.withholding.is_some();
+                for (i, &r) in alloc.iter().enumerate() {
+                    self.earned[i] += r;
+                    if self.compounds {
+                        if withholding {
+                            self.pending[i] += r;
+                        } else {
+                            self.stakes[i] += r;
+                        }
+                    }
+                }
+                true
+            }
+        };
+        if is_split && self.compounds && self.withholding.is_none() {
+            self.outcome.invalidate_weights();
+        }
+        self.steps += 1;
+        if let Some(schedule) = self.withholding {
+            if schedule.takes_effect_after(self.steps) {
+                for (s, p) in self.stakes.iter_mut().zip(&mut self.pending) {
+                    *s += std::mem::take(p);
+                }
+                self.outcome.invalidate_weights();
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random protocol, population, seed, withholding: after every single
+    /// step the ledger engine and the reference loop hold bitwise-equal
+    /// stake and income columns, and their RNG streams stay aligned.
+    #[test]
+    fn ledger_engine_matches_reference_stepper(
+        proto_idx in 0usize..11,
+        m in 2usize..=40,
+        // Below 1/2: a selfish-mining adversary at majority hash share
+        // (rightly) never settles its fork.
+        a in 0.05f64..0.45,
+        seed in any::<u64>(),
+        withholding_raw in 0u64..60,
+        steps in 40u64..160,
+    ) {
+        // Raw draw below 2 means "no withholding" (the stub proptest has
+        // no Option strategy).
+        let withholding_period = (withholding_raw >= 2).then_some(withholding_raw);
+        let shares = paper_multi_miner(m, a);
+        let (name, spec) = protocol_specs().swap_remove(proto_idx);
+
+        let mut game = MiningGame::new(
+            registry::construct(&spec, &shares).expect("constructs"),
+            &shares,
+        );
+        let mut reference = ReferenceGame::new(
+            registry::construct(&spec, &shares).expect("constructs"),
+            &shares,
+        );
+        if let Some(period) = withholding_period {
+            game = game.with_withholding(WithholdingSchedule::every(period));
+            reference.withholding = Some(WithholdingSchedule::every(period));
+        }
+
+        let mut game_rng = Xoshiro256StarStar::new(seed);
+        let mut ref_rng = Xoshiro256StarStar::new(seed);
+        for step in 0..steps {
+            game.step(&mut game_rng);
+            reference.step(&mut ref_rng);
+            for i in 0..m {
+                prop_assert_eq!(
+                    game.stake(i).to_bits(),
+                    reference.stakes[i].to_bits(),
+                    "{} m={} stake[{}] diverged at step {}", name, m, i, step
+                );
+                prop_assert_eq!(
+                    game.earned(i).to_bits(),
+                    reference.earned[i].to_bits(),
+                    "{} m={} earned[{}] diverged at step {}", name, m, i, step
+                );
+            }
+            prop_assert_eq!(&game_rng, &ref_rng, "RNG streams must stay aligned");
+        }
+    }
+
+    /// The single-miner trajectory fast path consumes the RNG identically
+    /// to the all-miner path and reports the same miner-0 curve.
+    #[test]
+    fn single_trajectory_matches_all_miner_column(
+        proto_idx in 0usize..11,
+        m in 2usize..=12,
+        seed in any::<u64>(),
+    ) {
+        let shares = paper_multi_miner(m, 0.2);
+        let (_, spec) = protocol_specs().swap_remove(proto_idx);
+        let checkpoints = [7u64, 40, 90];
+
+        let mut single = MiningGame::new(
+            registry::construct(&spec, &shares).expect("constructs"),
+            &shares,
+        );
+        let mut single_rng = Xoshiro256StarStar::new(seed);
+        let traj = single.run_with_checkpoints(&checkpoints, &mut single_rng);
+
+        let mut all = MiningGame::new(
+            registry::construct(&spec, &shares).expect("constructs"),
+            &shares,
+        );
+        let mut all_rng = Xoshiro256StarStar::new(seed);
+        let columns = all.run_with_checkpoints_all(&checkpoints, &mut all_rng);
+
+        prop_assert_eq!(&traj.checkpoints, &columns[0].checkpoints);
+        for (a, b) in traj.values.iter().zip(&columns[0].values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(&single_rng, &all_rng);
+    }
+}

@@ -6,7 +6,9 @@
 use fairness_core::miner::two_miner;
 use fairness_core::registry;
 use fairness_core::scenario::text::parse_scenarios;
-use fairness_core::scenario::{print_scenarios, Checkpoints, ProtocolSpec, ScenarioSpec};
+use fairness_core::scenario::{
+    print_scenarios, Checkpoints, ProtocolSpec, ScenarioSpec, SharesSpec,
+};
 use proptest::prelude::*;
 
 /// One of the eight base protocols, parameterized by the sampled values.
@@ -154,7 +156,7 @@ proptest! {
         let spec = scenario(
             selector, adapter, w, v, shards, gamma, tries, a, 100, 10, 1000, 5, 0, 0,
         );
-        let protocol = registry::construct(&spec.protocol, &spec.initial_shares);
+        let protocol = registry::construct(&spec.protocol, &spec.initial_shares());
         prop_assert!(
             protocol.is_ok(),
             "spec failed to construct: {} ({:?})",
@@ -177,4 +179,79 @@ proptest! {
         let parsed = parse_scenarios(&text).expect("two-block file parses");
         prop_assert_eq!(parsed, specs);
     }
+}
+
+/// A repeated key must be rejected everywhere a spec can enter the system:
+/// the `.scn` parser (with the offending line number), `validate()` on
+/// builder-made specs, and the registry's argument check. Constructors read
+/// the first occurrence, so a silently-accepted duplicate would diverge from
+/// what the printed form round-trips to.
+#[test]
+fn duplicate_parameters_are_rejected_at_every_layer() {
+    // Parser: duplicate protocol parameter, error names the line.
+    let text = "\
+scenario \"dup\" {
+  protocol = pow(w = 0.01, w = 0.02)
+  shares = [0.2, 0.8]
+  checkpoints = linear(1000, 5)
+}
+";
+    let err = parse_scenarios(text).expect_err("duplicate parameter must not parse");
+    let message = err.to_string();
+    assert!(message.contains("line 2"), "no line number in: {message}");
+    assert!(
+        message.contains("duplicate"),
+        "not a duplicate error: {message}"
+    );
+
+    // Parser: duplicate scenario-level field.
+    let text = "\
+scenario \"dup\" {
+  protocol = pow(w = 0.01)
+  shares = [0.2, 0.8]
+  shares = [0.5, 0.5]
+  checkpoints = linear(1000, 5)
+}
+";
+    let err = parse_scenarios(text).expect_err("duplicate field must not parse");
+    let message = err.to_string();
+    assert!(message.contains("line 4"), "no line number in: {message}");
+    assert!(
+        message.contains("duplicate"),
+        "not a duplicate error: {message}"
+    );
+
+    // Builder path: validate() walks the protocol tree. (The builder's
+    // `build()` itself panics on invalid specs, so assemble one directly.)
+    let spec = ScenarioSpec {
+        name: "dup".to_owned(),
+        protocol: ProtocolSpec::new("pow").with("w", 0.01).with("w", 0.02),
+        shares: SharesSpec::Explicit(two_miner(0.2)),
+        checkpoints: Checkpoints::Linear {
+            horizon: 1000,
+            count: 5,
+        },
+        repetitions: None,
+        withholding: None,
+        system: None,
+    };
+    let message = spec
+        .validate()
+        .expect_err("validate must reject duplicates");
+    assert!(
+        message.contains('w'),
+        "message should name the key: {message}"
+    );
+
+    // Registry: construction rejects duplicates even without validate().
+    let err = registry::construct(
+        &ProtocolSpec::new("pow").with("w", 0.01).with("w", 0.02),
+        &two_miner(0.2),
+    )
+    .expect_err("registry must reject duplicates");
+    let message = err.to_string();
+    assert!(
+        message.contains("more than once"),
+        "unexpected registry error: {message}"
+    );
 }

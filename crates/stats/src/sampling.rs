@@ -199,6 +199,90 @@ impl FenwickSampler {
     }
 }
 
+/// Unnormalized Zipf weights over `n` ranks: `weight[i] = (i + 1)^-s`.
+///
+/// Rank 0 is the heaviest. `s = 0` degenerates to uniform weights; larger
+/// exponents concentrate mass on the first ranks. This is the standard
+/// model for skewed stake distributions in large miner populations
+/// (Sakurai & Shudo study exactly this regime), and the generator behind
+/// the scenario format's `shares = zipf(count, exponent)`.
+///
+/// # Panics
+/// Panics if `n == 0` or `exponent` is negative or non-finite.
+#[must_use]
+pub fn zipf_weights(n: usize, exponent: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf needs at least one rank");
+    assert!(
+        exponent.is_finite() && exponent >= 0.0,
+        "zipf exponent must be finite and non-negative, got {exponent}"
+    );
+    (1..=n).map(|k| (k as f64).powf(-exponent)).collect()
+}
+
+/// A sampler over the Zipf(`n`, `s`) law: rank `i ∈ 0..n` is drawn with
+/// probability `(i + 1)^-s / H_{n,s}` in O(log n) per draw.
+///
+/// Thin wrapper over a [`FenwickSampler`] built from [`zipf_weights`], so
+/// draw arithmetic is covered by the Fenwick/linear-scan equivalence
+/// tests; the analytic [`pmf`](Self::pmf) is what the statistical tests in
+/// `tests/proptests.rs` check empirical frequencies against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfSampler {
+    fenwick: FenwickSampler,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics under the same conditions as [`zipf_weights`].
+    #[must_use]
+    pub fn new(n: usize, exponent: f64) -> Self {
+        Self {
+            fenwick: FenwickSampler::new(&zipf_weights(n, exponent)),
+            exponent,
+        }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fenwick.len()
+    }
+
+    /// Whether the sampler holds no ranks (never true after a successful
+    /// build).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fenwick.is_empty()
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The analytic probability of rank `i`:
+    /// `(i + 1)^-s / Σ_k (k + 1)^-s`.
+    #[must_use]
+    pub fn pmf(&self, i: usize) -> f64 {
+        self.fenwick.weight(i) / self.fenwick.total()
+    }
+
+    /// Draws a rank from one uniform variate `u ∈ [0, 1)`.
+    #[must_use]
+    pub fn sample_at(&self, u: f64) -> usize {
+        self.fenwick.sample_at(u)
+    }
+
+    /// Draws a rank using the generator's next `f64`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.fenwick.sample(rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

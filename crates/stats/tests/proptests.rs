@@ -6,6 +6,7 @@ use fairness_stats::dist::{
 };
 use fairness_stats::polya::PolyaUrn;
 use fairness_stats::rng::{SeedSequence, Xoshiro256StarStar};
+use fairness_stats::sampling::{zipf_weights, ZipfSampler};
 use fairness_stats::special::{ln_gamma, reg_inc_beta, reg_lower_gamma};
 use fairness_stats::summary::{quantile, Welford};
 use proptest::prelude::*;
@@ -92,6 +93,80 @@ proptest! {
         let x = pois.sample(&mut rng);
         // Loose tail bound: 20 standard deviations above the mean.
         prop_assert!((x as f64) < lambda + 20.0 * lambda.sqrt() + 20.0);
+    }
+
+    // ---------------- Zipf sampling ----------------
+
+    #[test]
+    fn zipf_pmf_is_a_probability(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = ZipfSampler::new(n, s);
+        let total: f64 = (0..n).map(|i| z.pmf(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        // Rank probabilities are non-increasing (rank 0 is heaviest).
+        for i in 1..n {
+            prop_assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-15);
+        }
+        // The sampler and the raw weights agree.
+        let w = zipf_weights(n, s);
+        let wt: f64 = w.iter().sum();
+        for (i, &wi) in w.iter().enumerate() {
+            prop_assert!((z.pmf(i) - wi / wt).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_chi_square_matches_analytic_pmf(s in 0.0f64..2.5, seed in any::<u64>()) {
+        // Pearson chi-square over 8 ranks at 40,000 draws. With 7 degrees
+        // of freedom a statistic above 60 has probability below 1e-9 —
+        // effectively impossible unless the sampler disagrees with the
+        // analytic law.
+        let n = 8;
+        let draws = 40_000u64;
+        let z = ZipfSampler::new(n, s);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let chi2: f64 = (0..n)
+            .map(|i| {
+                let expected = z.pmf(i) * draws as f64;
+                let delta = counts[i] as f64 - expected;
+                delta * delta / expected
+            })
+            .sum();
+        prop_assert!(chi2 < 60.0, "chi-square {chi2} too large for s={s}");
+        // Confidence-interval agreement of the mean rank: empirical mean
+        // within 6 standard errors of the analytic mean.
+        let mean: f64 = (0..n).map(|i| i as f64 * z.pmf(i)).sum();
+        let var: f64 = (0..n).map(|i| (i as f64 - mean).powi(2) * z.pmf(i)).sum();
+        let empirical: f64 =
+            counts.iter().enumerate().map(|(i, &c)| i as f64 * c as f64).sum::<f64>()
+                / draws as f64;
+        let tolerance = 6.0 * (var / draws as f64).sqrt() + 1e-12;
+        prop_assert!(
+            (empirical - mean).abs() < tolerance,
+            "mean rank {empirical} vs analytic {mean} (tolerance {tolerance})"
+        );
+    }
+
+    #[test]
+    fn zipf_degenerate_exponent_is_uniform(n in 1usize..100) {
+        // s = 0: every rank weighs 1 exactly, so the pmf is exactly 1/n.
+        let z = ZipfSampler::new(n, 0.0);
+        for i in 0..n {
+            prop_assert!((z.pmf(i) - 1.0 / n as f64).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn zipf_single_rank_always_drawn(s in 0.0f64..4.0, seed in any::<u64>()) {
+        let z = ZipfSampler::new(1, s);
+        prop_assert!((z.pmf(0) - 1.0).abs() < 1e-15);
+        let mut rng = Xoshiro256StarStar::new(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(z.sample(&mut rng), 0);
+        }
     }
 
     // ---------------- Pólya urn ----------------
