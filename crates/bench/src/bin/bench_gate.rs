@@ -138,11 +138,17 @@ fn main() -> ExitCode {
     if let Some(path) = &history_path {
         let prior = parse_history(&std::fs::read_to_string(path).unwrap_or_default());
         let (trend, notes) = trend_baseline(&baseline, &prior, &fresh);
-        if !prior.is_empty() {
-            println!("  gating per target against the {TREND_WINDOW}-run rolling median / committed baseline (whichever is looser):");
-            for note in &notes {
-                println!("{note}");
-            }
+        // Provenance is printed unconditionally: an empty or short history
+        // (first CI run, evicted cache) used to degrade to the committed
+        // snapshot *silently*, so nobody knew the trend gate was inactive.
+        println!("  gating per target against the {TREND_WINDOW}-run rolling median / committed baseline (whichever is looser):");
+        if prior.is_empty() {
+            println!(
+                "  (no prior runs in {path} — every target falls back to the committed snapshot)"
+            );
+        }
+        for note in &notes {
+            println!("{note}");
         }
         baseline = trend;
     }

@@ -16,9 +16,8 @@
 //! Computed ensembles persist under `results/.cache/` across invocations
 //! (`--no-disk-cache` opts out).
 
-use fairness_bench::experiments::{find, registry, Harness};
-use fairness_bench::runner::scenario_report;
-use fairness_bench::schedule::{run_schedule, timings_json};
+use fairness_bench::experiments::{find, registry, SweepService};
+use fairness_bench::schedule::timings_json;
 use fairness_bench::ReproOptions;
 use fairness_core::scenario::text::parse_scenarios;
 use std::path::PathBuf;
@@ -276,8 +275,9 @@ fn main() -> ExitCode {
         };
     }
 
-    // `scenario FILE` runs user-authored specs through the same harness
-    // (pool, sweep cache, disk persistence) as the built-in figures.
+    // `scenario FILE` runs user-authored specs through the same
+    // SweepService (pool, sweep cache, disk persistence) as the built-in
+    // figures — and as the `fairness-serve` daemon.
     if targets.first().is_some_and(|t| t == "scenario") {
         let [_, file] = targets.as_slice() else {
             eprintln!("scenario needs exactly one spec file\n{}", usage());
@@ -299,20 +299,20 @@ fn main() -> ExitCode {
         };
         fairness_stats::mc::set_global_threads(opts.jobs);
         let reps = opts.repetitions;
-        let harness = Harness::new(opts);
+        let service = SweepService::new(opts);
         let started = std::time::Instant::now();
-        match scenario_report(&harness.ctx(), &specs) {
+        match service.run_report(&specs) {
             Ok(report) => {
                 let seconds = started.elapsed().as_secs_f64();
                 println!("{report}");
                 println!(
                     "[{} scenario(s) in {seconds:.1}s wall-clock, jobs={}; sweep cache: {} ensembles, {} hits / {} misses ({} from disk)]",
                     specs.len(),
-                    harness.ctx().pool.jobs(),
-                    harness.cache().len(),
-                    harness.cache().hits(),
-                    harness.cache().misses(),
-                    harness.cache().disk_hits(),
+                    service.pool().jobs(),
+                    service.cache().len(),
+                    service.cache().hits(),
+                    service.cache().misses(),
+                    service.cache().disk_hits(),
                 );
                 if let Some(path) = timings_path {
                     // One record for the whole batch, same schema as the
@@ -359,10 +359,10 @@ fn main() -> ExitCode {
     // each figure's sweep points, and the Monte-Carlo inner loops.
     fairness_stats::mc::set_global_threads(opts.jobs);
     let reps = opts.repetitions;
-    let harness = Harness::new(opts);
+    let service = SweepService::new(opts);
 
     let started = std::time::Instant::now();
-    let outcomes = run_schedule(&selected, &harness.ctx());
+    let outcomes = service.run_targets(&selected);
     let total = started.elapsed().as_secs_f64();
 
     let mut failed = false;
@@ -383,11 +383,11 @@ fn main() -> ExitCode {
     println!(
         "[{} experiments in {total:.1}s wall-clock, jobs={}; sweep cache: {} ensembles, {} hits / {} misses ({} from disk)]",
         outcomes.len(),
-        harness.ctx().pool.jobs(),
-        harness.cache().len(),
-        harness.cache().hits(),
-        harness.cache().misses(),
-        harness.cache().disk_hits(),
+        service.pool().jobs(),
+        service.cache().len(),
+        service.cache().hits(),
+        service.cache().misses(),
+        service.cache().disk_hits(),
     );
 
     if let Some(path) = timings_path {

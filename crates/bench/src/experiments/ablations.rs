@@ -1,7 +1,7 @@
 //! Ablations beyond the paper's headline experiments.
 
 use super::common::{A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv, TextTable};
 use crate::runner::run_scenarios;
 use fairness_core::fairness::EpsilonDelta;
@@ -103,7 +103,7 @@ pub fn ablations_specs() -> Vec<ScenarioSpec> {
 /// sketches (NEO / Algorand / EOS). The shard sweep is anchored by the
 /// paper-default C-PoS ensemble, shared with Figures 2/3/5 through the
 /// sweep cache.
-pub fn ablations(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn ablations(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let horizon = HORIZON;
     let mut out = String::new();
@@ -221,13 +221,13 @@ pub fn ablations(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn ablations_run_small() {
-        let h = tiny_harness("ablations");
-        let out = ablations(&h.ctx()).expect("ablations");
+        let h = tiny_service("ablations");
+        let out = ablations(&h.session()).expect("ablations");
         assert!(out.contains("Shard sweep"));
         assert!(out.contains("Algorand"));
         assert!(out.contains("anchor: paper-default C-PoS"));

@@ -10,7 +10,7 @@
 //! `repro --jobs N` with bit-identical output.
 
 use super::common::{band_rows, A_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv, TextTable};
 use crate::runner::run_scenarios;
 use chain_sim::{target_for_expected_interval, Engine, ForkNetConfig, ForkNetSim, PowEngine};
@@ -81,7 +81,7 @@ pub fn grinding_specs() -> Vec<ScenarioSpec> {
 /// Selfish-mining α×γ sweep on PoW plus a stake-grinding depth sweep on
 /// SL-PoS, each column paired with its closed form. With `--system`, the
 /// hash-level `ForkNetSim` overlays the model-level numbers.
-pub fn adversarial(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn adversarial(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let mut out = String::new();
     let _ = writeln!(
@@ -313,13 +313,13 @@ pub fn adversarial(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn adversarial_runs_small() {
-        let h = tiny_harness("adversarial");
-        let out = adversarial(&h.ctx()).expect("adversarial");
+        let h = tiny_service("adversarial");
+        let out = adversarial(&h.session()).expect("adversarial");
         assert!(out.contains("Selfish mining on PoW"));
         assert!(out.contains("Stake grinding on SL-PoS"));
         // α×γ grid plus the grinding sweep all memoize distinctly.

@@ -114,15 +114,23 @@ pub(crate) fn load(dir: &Path, digest: u64) -> Option<EnsembleSummary> {
 /// Spills `summary` under `digest`, best-effort: a full disk or unwritable
 /// directory only costs the reuse, never the run. The write goes through a
 /// temporary sibling plus rename so concurrent writers (two `repro`
-/// processes on one grid) can never interleave a torn file.
+/// processes on one grid, or two threads of one daemon) can never
+/// interleave a torn file.
 pub(crate) fn store(dir: &Path, digest: u64, summary: &EnsembleSummary) {
     let _ = try_store(dir, digest, summary);
 }
 
+/// Serial number distinguishing concurrent writers *within* one process.
+/// The pid alone is not enough: two daemon worker threads spilling the
+/// same digest would share one tmp path, and the loser's rename could
+/// publish the winner's half-truncated rewrite.
+static TMP_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 fn try_store(dir: &Path, digest: u64, summary: &EnsembleSummary) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     let final_path = entry_path(dir, digest);
-    let tmp_path = dir.join(format!("{digest:016x}.tmp{}", std::process::id()));
+    let serial = TMP_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp_path = dir.join(format!("{digest:016x}.tmp{}-{serial}", std::process::id()));
     {
         let mut file = fs::File::create(&tmp_path)?;
         file.write_all(encode(summary).as_bytes())?;
@@ -319,6 +327,46 @@ mod tests {
         assert_eq!(healed.entries, 2, "healthy entries untouched");
         assert_eq!(healed.removable(), 0);
         assert_eq!(load(&dir, 1), Some(sample()), "entries still serve");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_writers_to_one_entry_never_tear() {
+        // Regression: tmp names used to be keyed by pid alone, so two
+        // threads of one process racing on the same digest shared a tmp
+        // path — one writer could rename the other's in-progress file.
+        // With per-writer serials, every store is an atomic publish of a
+        // complete file: after any interleaving the entry must decode to
+        // one of the written summaries, and no temporaries may linger.
+        let dir = std::env::temp_dir().join("fairness-diskcache-race");
+        let _ = fs::remove_dir_all(&dir);
+        let digest = 0xbeef;
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let dir = &dir;
+                scope.spawn(move || {
+                    let mut summary = sample();
+                    summary.share = f64::from(t) / 8.0;
+                    for _ in 0..50 {
+                        store(dir, digest, &summary);
+                    }
+                });
+            }
+        });
+        let loaded = load(&dir, digest).expect("entry must decode after the race");
+        assert!(
+            (0..8).any(|t| loaded.share == f64::from(t) / 8.0),
+            "entry is a complete write from one racer, got share {}",
+            loaded.share
+        );
+        let s = scan(&dir).expect("scan");
+        assert_eq!(s.entries, 1);
+        assert!(
+            s.temporaries.is_empty(),
+            "no orphaned temporaries: {:?}",
+            s.temporaries
+        );
+        assert!(s.corrupt.is_empty(), "no torn files: {:?}", s.corrupt);
         let _ = fs::remove_dir_all(&dir);
     }
 

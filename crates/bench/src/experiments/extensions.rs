@@ -1,7 +1,7 @@
 //! Extensions relaxing Assumption 4 and quantifying Section 6.5.
 
 use super::common::{A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv, TextTable};
 use crate::runner::run_scenarios;
 use fairness_core::prelude::*;
@@ -51,7 +51,7 @@ pub fn extensions_specs() -> Vec<ScenarioSpec> {
 /// Extensions relaxing Assumption 4 and quantifying Section 6.5's
 /// discussion: cash-out miners, mining pools, decentralization decay, and
 /// the equitability metric of Fanti et al. (related work).
-pub fn extensions(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn extensions(ctx: &SweepSession) -> io::Result<String> {
     use fairness_core::decentralization::DecentralizationReport;
     use fairness_core::fairness::equitability;
 
@@ -216,13 +216,13 @@ pub fn extensions(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn extensions_run_small() {
-        let h = tiny_harness("extensions");
-        let out = extensions(&h.ctx()).expect("extensions");
+        let h = tiny_service("extensions");
+        let out = extensions(&h.session()).expect("extensions");
         assert!(out.contains("Cash-out"));
         assert!(out.contains("Decentralization"));
         assert!(out.contains("Equitability"));

@@ -1,6 +1,6 @@
 //! Figure 1: the SL-PoS drift field.
 
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::TextTable;
 use crate::report::{fmt4, write_csv};
 use fairness_core::theory;
@@ -10,7 +10,7 @@ use std::io;
 /// Figure 1: SL-PoS probability of winning the next block as a function of
 /// the current stake fraction `Z_n`, with the drift toward the absorbing
 /// states 0 and 1.
-pub fn fig1(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn fig1(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let mut rows = Vec::new();
     for i in 0..=100u32 {
@@ -60,13 +60,13 @@ pub fn fig1(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn fig1_reports_drift_zeros() {
-        let h = tiny_harness("fig1");
-        let out = fig1(&h.ctx()).expect("fig1");
+        let h = tiny_service("fig1");
+        let out = fig1(&h.session()).expect("fig1");
         assert!(out.contains("0.00 (Stable)"));
         assert!(out.contains("0.50 (Unstable)"));
         assert!(out.contains("1.00 (Stable)"));

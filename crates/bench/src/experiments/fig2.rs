@@ -7,7 +7,7 @@
 //! byte-identical to the pre-spec implementation.
 
 use super::common::{band_rows, render_band_table, A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv};
 use crate::runner::run_scenarios;
 use fairness_core::miner::two_miner;
@@ -59,7 +59,7 @@ pub fn fig2_specs() -> Vec<ScenarioSpec> {
 /// ML-PoS, SL-PoS and C-PoS with `a = 0.2`, `w = 0.01`, `v = 0.1`.
 /// With `--system`, hash-level chain-sim trajectories overlay the closed
 /// -form simulation (the paper's green bars vs blue bands).
-pub fn fig2(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn fig2(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let outcomes = run_scenarios(ctx, &fig2_specs())?;
     let mut out = String::new();
@@ -121,13 +121,13 @@ pub fn fig2(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn fig2_runs_small() {
-        let h = tiny_harness("fig2");
-        let out = fig2(&h.ctx()).expect("fig2");
+        let h = tiny_service("fig2");
+        let out = fig2(&h.session()).expect("fig2");
         assert!(out.contains("(a) PoW"));
         assert!(out.contains("(d) C-PoS"));
     }

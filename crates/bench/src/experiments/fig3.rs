@@ -1,7 +1,7 @@
 //! Figure 3: unfair probability vs `n` across initial shares.
 
 use super::common::{P_EFF, V_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, fmt_convergence, write_csv, TextTable};
 use crate::runner::run_scenarios;
 use fairness_core::fairness::EpsilonDelta;
@@ -50,7 +50,7 @@ pub fn fig3_specs() -> Vec<ScenarioSpec> {
 
 /// Figure 3: unfair probability vs `n` for `a ∈ {0.1, 0.2, 0.3, 0.4}` under
 /// all four protocols (`w = 0.01`, `v = 0.1`).
-pub fn fig3(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn fig3(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let horizon = 5000;
     let checkpoints = linear_checkpoints(horizon, 25);
@@ -143,13 +143,13 @@ pub fn fig3(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn fig3_runs_small() {
-        let h = tiny_harness("fig3");
-        let out = fig3(&h.ctx()).expect("fig3");
+        let h = tiny_service("fig3");
+        let out = fig3(&h.session()).expect("fig3");
         assert!(out.contains("(a) PoW"));
         assert!(out.contains("theory overlay"));
         assert!(out.contains("(d) C-PoS"));

@@ -1,7 +1,7 @@
 //! Figure 4: SL-PoS mean reward proportion sweeps.
 
 use super::common::{A_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv, TextTable};
 use crate::runner::{run_scenarios, ScenarioOutcome};
 use fairness_core::miner::two_miner;
@@ -48,7 +48,7 @@ pub fn fig4_specs() -> Vec<ScenarioSpec> {
 /// `a ∈ {0.1..0.5}` at `w = 0.01`; (b) varying block reward
 /// `w ∈ {10⁻⁴..10⁻¹}` at `a = 0.2`. Horizon 10⁵ blocks, log-spaced
 /// checkpoints.
-pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn fig4(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let checkpoints = log_checkpoints(HORIZON, 4);
     let mut out = String::new();
@@ -146,13 +146,13 @@ pub fn fig4(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn fig4_share_and_reward_sweeps_share_the_default_point() {
-        let h = tiny_harness("fig4");
-        let out = fig4(&h.ctx()).expect("fig4");
+        let h = tiny_service("fig4");
+        let out = fig4(&h.session()).expect("fig4");
         assert!(out.contains("(a) mean λ_A by initial share"));
         assert!(out.contains("(b) mean λ_A by block reward"));
         // (a=0.2, w=0.01) appears in both sweeps — exactly one cache hit.

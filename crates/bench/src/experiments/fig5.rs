@@ -1,7 +1,7 @@
 //! Figure 5: unfair-probability sweeps over rewards and inflation.
 
 use super::common::{A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv, TextTable};
 use crate::runner::{run_scenarios, ScenarioOutcome};
 use fairness_core::fairness::EpsilonDelta;
@@ -75,7 +75,7 @@ pub fn fig5_specs() -> Vec<ScenarioSpec> {
 /// Figure 5: unfair probabilities under `a = 0.2` for (a) ML-PoS across `w`;
 /// (b) SL-PoS across `w`; (c) C-PoS across `w` at `v = 0.1`; (d) C-PoS
 /// across `v` at `w = 0.01`.
-pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn fig5(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let mut out = String::new();
     let _ = writeln!(
@@ -229,13 +229,13 @@ pub fn fig5(ctx: &ExperimentContext) -> io::Result<String> {
 
 #[cfg(test)]
 mod tests {
-    use super::super::testutil::tiny_harness;
+    use super::super::testutil::tiny_service;
     use super::*;
 
     #[test]
     fn fig5_runs_small() {
-        let h = tiny_harness("fig5");
-        let out = fig5(&h.ctx()).expect("fig5");
+        let h = tiny_service("fig5");
+        let out = fig5(&h.session()).expect("fig5");
         assert!(out.contains("(a) ML-PoS by w"));
         assert!(out.contains("paper reports"));
         // Panels (c) and (d) meet at (w, v) = (0.01, 0.1): the sweep cache

@@ -1,7 +1,7 @@
 //! Figure 6: the FSL-PoS treatment, with and without withholding.
 
 use super::common::{band_rows, render_band_table, A_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv};
 use crate::runner::run_scenarios;
 use fairness_core::miner::two_miner;
@@ -39,7 +39,7 @@ pub fn fig6_specs() -> Vec<ScenarioSpec> {
 /// Figure 6: the treatments. (a) FSL-PoS restores expectational fairness
 /// but not robust fairness; (b) FSL-PoS + reward withholding (effect every
 /// 1000 blocks) pulls nearly all mass into the fair area.
-pub fn fig6(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn fig6(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let outcomes = run_scenarios(ctx, &fig6_specs())?;
     let (plain, withheld) = (&outcomes[0].summary, &outcomes[1].summary);
@@ -98,7 +98,7 @@ pub fn fig6(ctx: &ExperimentContext) -> io::Result<String> {
 #[cfg(test)]
 mod tests {
     use super::super::testutil::tiny_opts;
-    use super::super::Harness;
+    use super::super::SweepService;
     use super::*;
     use fairness_core::prelude::*;
     use fairness_core::trajectory::linear_checkpoints;
@@ -107,8 +107,8 @@ mod tests {
     fn fig6_withholding_improves() {
         let mut opts = tiny_opts("fig6");
         opts.repetitions = 150;
-        let h = Harness::new(opts);
-        let ctx = h.ctx();
+        let h = SweepService::new(opts);
+        let ctx = h.session();
         let out = fig6(&ctx).expect("fig6");
         assert!(out.contains("withholding"));
         // Re-request the two ensembles (pure cache hits) and assert the

@@ -12,9 +12,9 @@
 //! # Adding a figure module
 //!
 //! 1. Create `experiments/fig_new.rs` with a `pub fn fig_new(ctx:
-//!    &ExperimentContext) -> io::Result<String>` that renders its report
+//!    &SweepSession) -> io::Result<String>` that renders its report
 //!    and writes CSVs via [`crate::report::write_csv`]. Use
-//!    [`ExperimentContext::ensemble`] for closed-form ensembles (memoized,
+//!    [`SweepSession::ensemble`] for closed-form ensembles (memoized,
 //!    content-seeded) and [`crate::pool::JobPool::par_map`] via `ctx.pool`
 //!    for independent sweep points.
 //! 2. Declare a unit struct and implement [`Experiment`] for it; list any
@@ -52,100 +52,9 @@ pub use fig6::fig6;
 pub use scale::{scale, scale_grid, tail_monopolization_threshold};
 pub use table1::{miner_counts, table1};
 
-use crate::pool::JobPool;
-use crate::ReproOptions;
-use fairness_core::montecarlo::EnsembleSummary;
-use fairness_core::protocol::IncentiveProtocol;
-use fairness_core::withholding::WithholdingSchedule;
 use std::io;
-use std::sync::Arc;
 
-/// Everything an experiment needs: options, the shared sweep cache, and
-/// the shared worker budget.
-#[derive(Debug, Clone, Copy)]
-pub struct ExperimentContext<'a> {
-    /// Scale/seed/output options.
-    pub opts: &'a ReproOptions,
-    /// Memoized closed-form ensembles, shared by all experiments of a run.
-    pub cache: &'a SweepCache,
-    /// Worker budget shared by the scheduler and inner sweeps.
-    pub pool: &'a JobPool,
-}
-
-impl ExperimentContext<'_> {
-    /// A memoized closed-form ensemble at the run's default repetition
-    /// count (no withholding).
-    pub fn ensemble<P>(
-        &self,
-        protocol: &P,
-        shares: &[f64],
-        checkpoints: &[u64],
-    ) -> Arc<EnsembleSummary>
-    where
-        P: IncentiveProtocol + Clone,
-    {
-        self.cache
-            .ensemble(protocol, shares, checkpoints, self.opts.repetitions, None)
-    }
-
-    /// A memoized closed-form ensemble with explicit repetitions and
-    /// optional withholding schedule.
-    pub fn ensemble_with<P>(
-        &self,
-        protocol: &P,
-        shares: &[f64],
-        checkpoints: &[u64],
-        repetitions: usize,
-        withholding: Option<WithholdingSchedule>,
-    ) -> Arc<EnsembleSummary>
-    where
-        P: IncentiveProtocol + Clone,
-    {
-        self.cache
-            .ensemble(protocol, shares, checkpoints, repetitions, withholding)
-    }
-}
-
-/// Owns the pieces an [`ExperimentContext`] borrows. One per `repro`
-/// invocation (or per test).
-#[derive(Debug)]
-pub struct Harness {
-    opts: ReproOptions,
-    cache: SweepCache,
-    pool: JobPool,
-}
-
-impl Harness {
-    /// Builds the harness: the sweep cache is seeded from `opts.seed`
-    /// (spilling to `<results_dir>/.cache` unless `--no-disk-cache`) and
-    /// the pool sized from `opts.jobs`.
-    #[must_use]
-    pub fn new(opts: ReproOptions) -> Self {
-        let cache = if opts.disk_cache {
-            SweepCache::with_disk(opts.seed, opts.results_dir.join(".cache"))
-        } else {
-            SweepCache::new(opts.seed)
-        };
-        let pool = JobPool::new(opts.jobs);
-        Self { opts, cache, pool }
-    }
-
-    /// Borrows a context for running experiments.
-    #[must_use]
-    pub fn ctx(&self) -> ExperimentContext<'_> {
-        ExperimentContext {
-            opts: &self.opts,
-            cache: &self.cache,
-            pool: &self.pool,
-        }
-    }
-
-    /// The shared sweep cache (hit/miss accounting).
-    #[must_use]
-    pub fn cache(&self) -> &SweepCache {
-        &self.cache
-    }
-}
+pub use crate::service::{SweepService, SweepSession};
 
 /// A registered figure/table reproduction.
 pub trait Experiment: Sync {
@@ -167,7 +76,7 @@ pub trait Experiment: Sync {
     ///
     /// # Errors
     /// Returns any I/O error from writing result CSVs.
-    fn run(&self, ctx: &ExperimentContext) -> io::Result<String>;
+    fn run(&self, ctx: &SweepSession) -> io::Result<String>;
 }
 
 macro_rules! experiment {
@@ -189,7 +98,7 @@ macro_rules! experiment {
                 &[$($dep),*]
             }
 
-            fn run(&self, ctx: &ExperimentContext) -> io::Result<String> {
+            fn run(&self, ctx: &SweepSession) -> io::Result<String> {
                 $fn_path(ctx)
             }
         }
@@ -301,18 +210,18 @@ pub fn find(name: &str) -> Option<&'static dyn Experiment> {
 
 #[cfg(test)]
 pub(crate) mod testutil {
-    use super::Harness;
+    use super::SweepService;
     use crate::ReproOptions;
 
     /// A tiny harness for unit tests: 60 repetitions, no hash-level system
     /// runs, CSVs under a per-suffix temp dir. The pool is serial so cache
     /// hit/miss counts are deterministic (two concurrent misses on one key
     /// both count as misses by design).
-    pub fn tiny_harness(dir_suffix: &str) -> Harness {
-        Harness::new(tiny_opts(dir_suffix))
+    pub fn tiny_service(dir_suffix: &str) -> SweepService {
+        SweepService::new(tiny_opts(dir_suffix))
     }
 
-    /// The options behind [`tiny_harness`].
+    /// The options behind [`tiny_service`].
     pub fn tiny_opts(dir_suffix: &str) -> ReproOptions {
         ReproOptions {
             repetitions: 60,

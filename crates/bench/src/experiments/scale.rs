@@ -24,7 +24,7 @@
 
 use super::common::W_DEFAULT;
 use super::table1::monopolization_threshold;
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, write_csv, TextTable};
 use fairness_core::prelude::*;
 use fairness_stats::mc::{run_monte_carlo, McConfig};
@@ -170,7 +170,7 @@ pub fn tail_monopolization_threshold(m: usize, horizon: u64, reps: usize, seed: 
 /// `scale`: fairness metrics and the SL-PoS monopolization threshold on a
 /// log-axis miner-count grid up to 10⁶ (see the module docs). Writes
 /// `scale_fairness_vs_m.csv` and `scale_threshold_vs_m.csv`.
-pub fn scale(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn scale(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let grid = scale_grid(miner_cap(opts));
     let mut out = String::new();
@@ -309,7 +309,7 @@ pub fn scale(ctx: &ExperimentContext) -> io::Result<String> {
 #[cfg(test)]
 mod tests {
     use super::super::testutil::tiny_opts;
-    use super::super::Harness;
+    use super::super::SweepService;
     use super::*;
 
     #[test]
@@ -362,8 +362,8 @@ mod tests {
         let mut opts = tiny_opts("scale");
         opts.repetitions = 24;
         opts.max_miners = 100; // bounds the grid to {10, 100}
-        let h = Harness::new(opts);
-        let ctx = h.ctx();
+        let h = SweepService::new(opts);
+        let ctx = h.session();
         let out = scale(&ctx).expect("scale");
         assert!(out.contains("Gini_n"));
         assert!(out.contains("threshold a*"));
@@ -392,8 +392,8 @@ mod tests {
             opts.max_miners = 100;
             opts.jobs = jobs;
             let dir = opts.results_dir.clone();
-            let h = Harness::new(opts);
-            scale(&h.ctx()).expect("scale");
+            let h = SweepService::new(opts);
+            scale(&h.session()).expect("scale");
             let fairness =
                 std::fs::read(dir.join("scale_fairness_vs_m.csv")).expect("fairness csv");
             let threshold =

@@ -1,7 +1,7 @@
 //! Table 1: the multi-miner game.
 
 use super::common::{convergence_grid, A_DEFAULT, P_EFF, V_DEFAULT, W_DEFAULT};
-use super::ExperimentContext;
+use super::SweepSession;
 use crate::report::{fmt4, fmt_convergence, write_csv, TextTable};
 use crate::runner::run_scenarios;
 use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
@@ -103,7 +103,7 @@ struct Row {
 /// the "rich get richer" cutoff moves with the miner count.
 #[must_use]
 pub fn monopolization_threshold(
-    ctx: &ExperimentContext,
+    ctx: &SweepSession,
     m: usize,
     horizon: u64,
     repetitions: usize,
@@ -140,7 +140,7 @@ pub fn monopolization_threshold(
 /// monopolization threshold per miner count
 /// (`monopolization_threshold_vs_n.csv`). With `--system`, a hash-level
 /// multi-miner network cross-checks the closed-form mean.
-pub fn table1(ctx: &ExperimentContext) -> io::Result<String> {
+pub fn table1(ctx: &SweepSession) -> io::Result<String> {
     let opts = ctx.opts;
     let counts = miner_counts(opts.max_miners);
     let ed = EpsilonDelta::default();
@@ -308,15 +308,15 @@ pub fn table1(ctx: &ExperimentContext) -> io::Result<String> {
 #[cfg(test)]
 mod tests {
     use super::super::testutil::tiny_opts;
-    use super::super::Harness;
+    use super::super::SweepService;
     use super::*;
 
     #[test]
     fn table1_runs_small() {
         let mut opts = tiny_opts("table1");
         opts.repetitions = 40;
-        let h = Harness::new(opts);
-        let out = table1(&h.ctx()).expect("table1");
+        let h = SweepService::new(opts);
+        let out = table1(&h.session()).expect("table1");
         assert!(out.contains("Avg. of λ_A"));
         assert!(out.contains("Cvg. Time"));
         assert!(out.contains("10 Miners"));
@@ -360,8 +360,8 @@ mod tests {
         // SL-PoS game with 40 miners is monopolized by whoever is largest,
         // so the threshold collapses toward 1/m — far below one half. The
         // bisection itself is exercised end-to-end.
-        let h = Harness::new(tiny_opts("table1-m40"));
-        let ctx = h.ctx();
+        let h = SweepService::new(tiny_opts("table1-m40"));
+        let ctx = h.session();
         let t40 = monopolization_threshold(&ctx, 40, 30_000, 24);
         assert!(
             t40 < 0.2,

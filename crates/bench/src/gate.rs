@@ -325,7 +325,7 @@ pub fn trend_baseline(
             }
             (None, Some(c)) => {
                 notes.push(format!(
-                    "  {:<12} committed baseline {:.3}s ({} history run(s) < {TREND_WINDOW})",
+                    "  {:<12} falling back to committed snapshot {:.3}s ({} history run(s) < {TREND_WINDOW} — trend gate inactive)",
                     f.target,
                     c.seconds,
                     recent.len()
@@ -644,10 +644,36 @@ mod tests {
         // over so the gate still flags the missing target.
         assert_eq!(baseline.len(), 2);
         assert!((baseline[0].seconds - 10.0).abs() < 1e-9);
-        assert!(notes[0].contains("committed"), "{notes:?}");
+        assert!(
+            notes[0].contains("falling back to committed snapshot"),
+            "fallback must be explicit: {notes:?}"
+        );
+        assert!(notes[0].contains("1 history run(s)"), "{notes:?}");
         let out = gate(&baseline, &fresh, 0.25, 0.5);
         assert!(out.failed, "missing target must still fail: {}", out.report);
         assert!(out.report.contains("gone"));
+    }
+
+    #[test]
+    fn empty_history_falls_back_loudly_for_every_target() {
+        // Regression: with *zero* recorded runs (first CI run, evicted
+        // cache) the gate silently degraded to the committed snapshot —
+        // no note was ever printed, so nobody knew the trend gate was
+        // inactive. The fallback must now announce itself per target.
+        let committed = vec![record("fig2", 10.0, 100), record("table1", 3.0, 100)];
+        let fresh = vec![record("fig2", 11.0, 100), record("table1", 3.1, 100)];
+        let (baseline, notes) = trend_baseline(&committed, &[], &fresh);
+        assert_eq!(baseline.len(), 2);
+        assert_eq!(notes.len(), 2, "one provenance note per target: {notes:?}");
+        for note in &notes {
+            assert!(
+                note.contains("falling back to committed snapshot"),
+                "silent fallback: {note}"
+            );
+            assert!(note.contains("0 history run(s)"), "{note}");
+            assert!(note.contains("trend gate inactive"), "{note}");
+        }
+        assert!(!gate(&baseline, &fresh, 0.25, 0.5).failed);
     }
 
     #[test]

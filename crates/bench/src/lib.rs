@@ -37,6 +37,7 @@ pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod schedule;
+pub mod service;
 
 use std::path::PathBuf;
 

@@ -11,14 +11,14 @@
 //! `--jobs` level, exactly like the built-in figures.
 
 use crate::experiments::common::band_rows;
-use crate::experiments::ExperimentContext;
 use crate::report::{fmt4, write_csv, TextTable};
+use crate::service::{ProgressEvent, SweepSession};
 use chain_sim::{run_experiment, ExperimentConfig, ProtocolKind};
 use fairness_core::fairness::EpsilonDelta;
 use fairness_core::montecarlo::{summarize, EnsembleConfig, EnsembleSummary};
 use fairness_core::protocol::IncentiveProtocol;
 use fairness_core::registry;
-use fairness_core::scenario::ScenarioSpec;
+use fairness_core::scenario::{ScenarioSpec, ValidationError};
 use fairness_core::withholding::WithholdingSchedule;
 use fairness_stats::mc::{run_monte_carlo, McConfig};
 use std::fmt;
@@ -26,15 +26,20 @@ use std::fmt::Write as _;
 use std::io;
 use std::sync::Arc;
 
-/// Why a scenario batch could not run.
+/// Why a scenario batch could not run (or finish).
+///
+/// Every variant carries a stable machine-readable [`code`](Self::code)
+/// so the daemon can answer with typed errors while the CLI keeps its
+/// human-readable messages (`Display` is unchanged wire-for-wire for the
+/// variants that predate the service API).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ScenarioError {
     /// A spec failed [`ScenarioSpec::validate`].
     Invalid {
         /// The offending scenario's name.
         scenario: String,
-        /// The violated invariant.
-        message: String,
+        /// The violated invariant, typed.
+        error: ValidationError,
     },
     /// The registry rejected a protocol description.
     Registry {
@@ -50,13 +55,46 @@ pub enum ScenarioError {
         /// The unknown engine name.
         engine: String,
     },
+    /// Two scenario names collapse to the same CSV stem.
+    SlugCollision {
+        /// The first scenario claiming the stem.
+        first: String,
+        /// The second scenario claiming the stem.
+        second: String,
+        /// The contested stem.
+        slug: String,
+    },
+    /// The driving job was cancelled before the batch finished.
+    Cancelled,
+    /// Writing a result CSV failed.
+    Io {
+        /// The rendered I/O error.
+        message: String,
+    },
+}
+
+impl ScenarioError {
+    /// Stable kebab-case identifier for wire responses. Spec-validation
+    /// failures surface the violated invariant's own code
+    /// ([`ValidationError::code`], e.g. `duplicate-param`).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ScenarioError::Invalid { error, .. } => error.code(),
+            ScenarioError::Registry { .. } => "registry",
+            ScenarioError::UnknownEngine { .. } => "unknown-engine",
+            ScenarioError::SlugCollision { .. } => "slug-collision",
+            ScenarioError::Cancelled => "cancelled",
+            ScenarioError::Io { .. } => "io",
+        }
+    }
 }
 
 impl fmt::Display for ScenarioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScenarioError::Invalid { scenario, message } => {
-                write!(f, "scenario \"{scenario}\": {message}")
+            ScenarioError::Invalid { scenario, error } => {
+                write!(f, "scenario \"{scenario}\": {error}")
             }
             ScenarioError::Registry { scenario, error } => {
                 write!(f, "scenario \"{scenario}\": {error}")
@@ -66,6 +104,16 @@ impl fmt::Display for ScenarioError {
                 "scenario \"{scenario}\": unknown system engine `{engine}` \
                  (expected pow, ml-pos, sl-pos, fsl-pos or c-pos)"
             ),
+            ScenarioError::SlugCollision {
+                first,
+                second,
+                slug,
+            } => write!(
+                f,
+                "scenarios \"{first}\" and \"{second}\" both write scn_{slug}.csv — rename one"
+            ),
+            ScenarioError::Cancelled => write!(f, "job cancelled before the batch finished"),
+            ScenarioError::Io { message } => write!(f, "writing results failed: {message}"),
         }
     }
 }
@@ -74,7 +122,12 @@ impl std::error::Error for ScenarioError {}
 
 impl From<ScenarioError> for io::Error {
     fn from(e: ScenarioError) -> Self {
-        io::Error::new(io::ErrorKind::InvalidInput, e.to_string())
+        let kind = match &e {
+            ScenarioError::Io { .. } => io::ErrorKind::Other,
+            ScenarioError::Cancelled => io::ErrorKind::Interrupted,
+            _ => io::ErrorKind::InvalidInput,
+        };
+        io::Error::new(kind, e.to_string())
     }
 }
 
@@ -117,10 +170,10 @@ struct Resolved {
     system: Option<(ProtocolKind, u64, u64)>,
 }
 
-fn resolve(ctx: &ExperimentContext, spec: &ScenarioSpec) -> Result<Resolved, ScenarioError> {
-    spec.validate().map_err(|message| ScenarioError::Invalid {
+fn resolve(ctx: &SweepSession, spec: &ScenarioSpec) -> Result<Resolved, ScenarioError> {
+    spec.validate().map_err(|error| ScenarioError::Invalid {
         scenario: spec.name.clone(),
-        message,
+        error,
     })?;
     let shares = spec.initial_shares();
     let protocol =
@@ -158,7 +211,7 @@ fn resolve(ctx: &ExperimentContext, spec: &ScenarioSpec) -> Result<Resolved, Sce
 /// configuration, so repeated invocations reuse it bit-exactly instead of
 /// re-grinding the hash-level network.
 fn run_system(
-    ctx: &ExperimentContext,
+    ctx: &SweepSession,
     resolved: &Resolved,
     kind: ProtocolKind,
     horizon: u64,
@@ -224,16 +277,27 @@ fn run_system(
 /// whichever other scenarios run in the same process.
 ///
 /// # Errors
-/// Returns the first [`ScenarioError`] across the batch.
+/// Returns the first [`ScenarioError`] across the batch, or
+/// [`ScenarioError::Cancelled`] when the session's driving job was
+/// cancelled mid-batch (already-finished scenarios stay cached, so a
+/// resubmission resumes where the cancel landed).
 pub fn run_scenarios(
-    ctx: &ExperimentContext,
+    ctx: &SweepSession,
     specs: &[ScenarioSpec],
 ) -> Result<Vec<ScenarioOutcome>, ScenarioError> {
     let resolved: Vec<Resolved> = specs
         .iter()
         .map(|spec| resolve(ctx, spec))
         .collect::<Result<_, _>>()?;
-    Ok(ctx.pool.par_map(resolved.len(), |i| {
+    if ctx.is_cancelled() {
+        return Err(ScenarioError::Cancelled);
+    }
+    let outcomes = ctx.pool.par_map(resolved.len(), |i| {
+        // Cancellation is observed between scenarios, never mid-ensemble:
+        // a finished point is always a valid cache entry.
+        if ctx.is_cancelled() {
+            return None;
+        }
         let r = &resolved[i];
         let summary = ctx.cache.ensemble(
             &r.protocol,
@@ -246,12 +310,21 @@ pub fn run_scenarios(
             (true, Some((kind, horizon, salt))) => Some(run_system(ctx, r, kind, horizon, salt)),
             _ => None,
         };
-        ScenarioOutcome {
+        ctx.emit(ProgressEvent::Scenario {
+            index: i,
+            name: specs[i].name.clone(),
+            fingerprint: specs[i].fingerprint(),
+        });
+        Some(ScenarioOutcome {
             label: r.protocol.label(),
             summary,
             system,
-        }
-    }))
+        })
+    });
+    outcomes
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or(ScenarioError::Cancelled)
 }
 
 /// Runs a spec batch and renders the standard report: per scenario, a band
@@ -261,22 +334,25 @@ pub fn run_scenarios(
 /// byte-determinism contract as every figure.
 ///
 /// # Errors
-/// Returns scenario resolution failures (as [`io::ErrorKind::InvalidInput`])
-/// and any I/O error from writing CSVs.
-pub fn scenario_report(ctx: &ExperimentContext, specs: &[ScenarioSpec]) -> io::Result<String> {
+/// Returns a typed [`ScenarioError`] for resolution failures, slug
+/// collisions, cancellation, and (as [`ScenarioError::Io`]) CSV write
+/// failures. CLI callers keep the old behaviour through
+/// `From<ScenarioError> for io::Error`.
+pub fn scenario_report(
+    ctx: &SweepSession,
+    specs: &[ScenarioSpec],
+) -> Result<String, ScenarioError> {
     // Scenario names become CSV stems: two names collapsing to one slug
     // would silently overwrite each other's output, so reject up front.
     let mut slugs: Vec<(String, &str)> = Vec::with_capacity(specs.len());
     for spec in specs {
         let slug = spec.slug();
         if let Some((_, first)) = slugs.iter().find(|(s, _)| *s == slug) {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!(
-                    "scenarios \"{first}\" and \"{}\" both write scn_{slug}.csv — rename one",
-                    spec.name
-                ),
-            ));
+            return Err(ScenarioError::SlugCollision {
+                first: (*first).to_owned(),
+                second: spec.name.clone(),
+                slug,
+            });
         }
         slugs.push((slug, &spec.name));
     }
@@ -296,7 +372,10 @@ pub fn scenario_report(ctx: &ExperimentContext, specs: &[ScenarioSpec]) -> io::R
             &format!("scn_{slug}"),
             &["n", "mean", "p05", "p95", "unfair"],
             &band_rows(&outcome.summary),
-        )?;
+        )
+        .map_err(|e| ScenarioError::Io {
+            message: e.to_string(),
+        })?;
         let last = outcome.summary.final_point();
         let _ = writeln!(
             out,
@@ -334,7 +413,10 @@ pub fn scenario_report(ctx: &ExperimentContext, specs: &[ScenarioSpec]) -> io::R
                 &format!("scn_{slug}_system"),
                 &["n", "mean", "p05", "p95", "unfair"],
                 &band_rows(system),
-            )?;
+            )
+            .map_err(|e| ScenarioError::Io {
+                message: e.to_string(),
+            })?;
             let sys_last = system.final_point();
             let _ = writeln!(
                 out,
@@ -354,8 +436,8 @@ pub fn scenario_report(ctx: &ExperimentContext, specs: &[ScenarioSpec]) -> io::R
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::testutil::tiny_harness;
-    use crate::experiments::Harness;
+    use crate::experiments::testutil::tiny_service;
+    use crate::experiments::SweepService;
     use fairness_core::prelude::*;
     use fairness_core::scenario::ProtocolSpec;
 
@@ -372,8 +454,8 @@ mod tests {
         // The whole point of the runner: routing through ScenarioSpec +
         // registry must reproduce the hand-constructed path bit-exactly,
         // sharing the same cache slot.
-        let h = tiny_harness("runner-equiv");
-        let ctx = h.ctx();
+        let h = tiny_service("runner-equiv");
+        let ctx = h.session();
         let outcomes = run_scenarios(
             &ctx,
             &[spec("ml", ProtocolSpec::new("ml-pos").with("w", 0.01))],
@@ -386,7 +468,7 @@ mod tests {
 
     #[test]
     fn outcomes_keep_spec_order_and_memoize_duplicates() {
-        let h = tiny_harness("runner-order");
+        let h = tiny_service("runner-order");
         let specs: Vec<ScenarioSpec> = [0.1, 0.2, 0.1]
             .iter()
             .enumerate()
@@ -401,7 +483,7 @@ mod tests {
                 .build()
             })
             .collect();
-        let outcomes = run_scenarios(&h.ctx(), &specs).expect("runs");
+        let outcomes = run_scenarios(&h.session(), &specs).expect("runs");
         assert_eq!(outcomes.len(), 3);
         assert_eq!(outcomes[0].summary.share, 0.1);
         assert_eq!(outcomes[1].summary.share, 0.2);
@@ -411,7 +493,7 @@ mod tests {
 
     #[test]
     fn withholding_flows_through() {
-        let h = tiny_harness("runner-withholding");
+        let h = tiny_service("runner-withholding");
         let base = ScenarioSpec::builder("fsl", ProtocolSpec::new("fsl-pos").with("w", 0.01))
             .two_miner(0.2)
             .explicit(vec![2000])
@@ -419,7 +501,7 @@ mod tests {
             .build();
         let mut withheld = base.clone();
         withheld.withholding = Some(500);
-        let outcomes = run_scenarios(&h.ctx(), &[base, withheld]).expect("runs");
+        let outcomes = run_scenarios(&h.session(), &[base, withheld]).expect("runs");
         assert!(
             outcomes[1].summary.final_point().unfair_probability
                 < outcomes[0].summary.final_point().unfair_probability,
@@ -451,12 +533,14 @@ mod tests {
             salt: 0x77,
         });
 
-        let first = Harness::new(opts.clone());
-        let cold = run_scenarios(&first.ctx(), std::slice::from_ref(&with_system)).expect("cold");
+        let first = SweepService::new(opts.clone());
+        let cold =
+            run_scenarios(&first.session(), std::slice::from_ref(&with_system)).expect("cold");
         assert_eq!(first.cache().disk_hits(), 0, "cold cache computes");
 
-        let second = Harness::new(opts);
-        let warm = run_scenarios(&second.ctx(), std::slice::from_ref(&with_system)).expect("warm");
+        let second = SweepService::new(opts);
+        let warm =
+            run_scenarios(&second.session(), std::slice::from_ref(&with_system)).expect("warm");
         assert_eq!(
             second.cache().disk_hits(),
             2,
@@ -469,9 +553,9 @@ mod tests {
 
     #[test]
     fn errors_name_the_scenario() {
-        let h = tiny_harness("runner-errors");
+        let h = tiny_service("runner-errors");
         let bad = spec("broken", ProtocolSpec::new("nope"));
-        let err = run_scenarios(&h.ctx(), &[bad]).expect_err("must fail");
+        let err = run_scenarios(&h.session(), &[bad]).expect_err("must fail");
         assert!(matches!(err, ScenarioError::Registry { .. }));
         assert!(err.to_string().contains("broken"));
         assert!(err.to_string().contains("nope"));
@@ -482,26 +566,29 @@ mod tests {
             horizon: 100,
             salt: 0,
         });
-        let err = run_scenarios(&h.ctx(), &[bad_engine]).expect_err("must fail");
+        let err = run_scenarios(&h.session(), &[bad_engine]).expect_err("must fail");
         assert!(matches!(err, ScenarioError::UnknownEngine { .. }));
     }
 
     #[test]
     fn colliding_slugs_are_rejected_before_any_work() {
-        let h = tiny_harness("runner-collide");
+        let h = tiny_service("runner-collide");
         let a = spec("my sweep", ProtocolSpec::new("ml-pos").with("w", 0.01));
         let b = spec("my_sweep!", ProtocolSpec::new("sl-pos").with("w", 0.01));
-        let err = scenario_report(&h.ctx(), &[a, b]).expect_err("same slug must fail");
-        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let err = scenario_report(&h.session(), &[a, b]).expect_err("same slug must fail");
+        assert!(matches!(err, ScenarioError::SlugCollision { .. }));
+        assert_eq!(err.code(), "slug-collision");
         assert!(err.to_string().contains("scn_my_sweep.csv"), "{err}");
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidInput);
         assert_eq!(h.cache().misses(), 0, "rejected before simulating");
     }
 
     #[test]
     fn report_writes_csvs() {
-        let h = tiny_harness("runner-report");
+        let h = tiny_service("runner-report");
         let out = scenario_report(
-            &h.ctx(),
+            &h.session(),
             &[spec(
                 "my sweep",
                 ProtocolSpec::new("ml-pos").with("w", 0.01),
@@ -511,8 +598,8 @@ mod tests {
         assert!(out.contains("\"my sweep\""));
         assert!(out.contains("scn_my_sweep.csv"));
         assert!(out.contains("fingerprint:"));
-        let csv = h.ctx().opts.results_dir.join("scn_my_sweep.csv");
+        let csv = h.session().opts.results_dir.join("scn_my_sweep.csv");
         assert!(csv.exists(), "CSV written");
-        let _ = std::fs::remove_dir_all(&h.ctx().opts.results_dir);
+        let _ = std::fs::remove_dir_all(&h.session().opts.results_dir);
     }
 }

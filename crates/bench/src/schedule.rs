@@ -8,7 +8,7 @@
 //! order with per-experiment wall-clock timings, whatever the execution
 //! interleaving was.
 
-use crate::experiments::{Experiment, ExperimentContext};
+use crate::experiments::{Experiment, SweepSession};
 use crate::pool::JobPool;
 use std::io;
 use std::sync::{Condvar, Mutex};
@@ -74,7 +74,7 @@ impl Drop for ClaimGuard<'_> {
 #[must_use]
 pub fn run_schedule<'a>(
     selected: &[&'static dyn Experiment],
-    ctx: &ExperimentContext<'a>,
+    ctx: &SweepSession<'a>,
 ) -> Vec<RunOutcome> {
     let n = selected.len();
     if n == 0 {
@@ -223,7 +223,7 @@ impl JobPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::{registry, ExperimentContext, Harness};
+    use crate::experiments::{registry, SweepService, SweepSession};
     use crate::ReproOptions;
     use std::io;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -250,15 +250,15 @@ mod tests {
             self.deps
         }
 
-        fn run(&self, _ctx: &ExperimentContext) -> io::Result<String> {
+        fn run(&self, _ctx: &SweepSession) -> io::Result<String> {
             ORDER.lock().expect("order lock").push(self.name);
             COUNTER.fetch_add(1, Ordering::SeqCst);
             Ok(format!("ran {}", self.name))
         }
     }
 
-    fn harness(jobs: usize) -> Harness {
-        Harness::new(ReproOptions {
+    fn harness(jobs: usize) -> SweepService {
+        SweepService::new(ReproOptions {
             repetitions: 10,
             jobs,
             results_dir: std::env::temp_dir().join("fairness-bench-sched"),
@@ -283,7 +283,7 @@ mod tests {
         let selected: Vec<&'static dyn Experiment> = vec![&LAST, &MID, &LEAF_A];
         ORDER.lock().expect("order lock").clear();
         let h = harness(4);
-        let outcomes = run_schedule(&selected, &h.ctx());
+        let outcomes = run_schedule(&selected, &h.session());
         // Outcomes come back in selection order…
         assert_eq!(
             outcomes.iter().map(|o| o.name).collect::<Vec<_>>(),
@@ -306,7 +306,7 @@ mod tests {
         };
         let selected: Vec<&'static dyn Experiment> = vec![&ONLY];
         let h = harness(1);
-        let outcomes = run_schedule(&selected, &h.ctx());
+        let outcomes = run_schedule(&selected, &h.session());
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0].report.is_ok());
     }
@@ -314,7 +314,7 @@ mod tests {
     #[test]
     fn empty_selection() {
         let h = harness(2);
-        assert!(run_schedule(&[], &h.ctx()).is_empty());
+        assert!(run_schedule(&[], &h.session()).is_empty());
     }
 
     #[test]
@@ -326,7 +326,7 @@ mod tests {
             .copied()
             .filter(|e| e.name() == "fig1")
             .collect();
-        let outcomes = run_schedule(&selected, &h.ctx());
+        let outcomes = run_schedule(&selected, &h.session());
         assert_eq!(outcomes.len(), 1);
         assert!(outcomes[0]
             .report

@@ -2,7 +2,7 @@
 //! CSVs for the same seed at any `--jobs` level, and the sweep cache must
 //! collapse the ensembles the figures share.
 
-use fairness_bench::experiments::{registry, Harness};
+use fairness_bench::experiments::{registry, SweepService};
 use fairness_bench::runner::scenario_report;
 use fairness_bench::schedule::run_schedule;
 use fairness_bench::ReproOptions;
@@ -41,10 +41,10 @@ fn csv_snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
     out
 }
 
-fn run_all(dir: &Path, jobs: usize) -> Harness {
+fn run_all(dir: &Path, jobs: usize) -> SweepService {
     let _ = std::fs::remove_dir_all(dir);
-    let harness = Harness::new(opts(dir, jobs));
-    let outcomes = run_schedule(registry(), &harness.ctx());
+    let harness = SweepService::new(opts(dir, jobs));
+    let outcomes = run_schedule(registry(), &harness.session());
     for o in &outcomes {
         assert!(o.report.is_ok(), "{} failed: {:?}", o.name, o.report);
     }
@@ -99,8 +99,8 @@ fn scenario_file_runs_byte_identical_for_any_jobs_level() {
     let mut snapshots = Vec::new();
     for jobs in [1usize, 4] {
         let dir = base.join(format!("jobs{jobs}"));
-        let harness = Harness::new(opts(&dir, jobs));
-        let report = scenario_report(&harness.ctx(), &specs).expect("scenario run");
+        let harness = SweepService::new(opts(&dir, jobs));
+        let report = scenario_report(&harness.session(), &specs).expect("scenario run");
         assert!(report.contains("selfish"), "report names the scenarios");
         snapshots.push(csv_snapshot(&dir));
     }
@@ -139,13 +139,13 @@ fn scenario_file_reuses_the_disk_cache_across_invocations() {
     let mut options = opts(&dir, 2);
     options.disk_cache = true;
 
-    let first = Harness::new(options.clone());
-    scenario_report(&first.ctx(), &specs).expect("first run");
+    let first = SweepService::new(options.clone());
+    scenario_report(&first.session(), &specs).expect("first run");
     assert_eq!(first.cache().disk_hits(), 0, "cold cache computes");
     let snap_first = csv_snapshot(&dir);
 
-    let second = Harness::new(options);
-    scenario_report(&second.ctx(), &specs).expect("second run");
+    let second = SweepService::new(options);
+    scenario_report(&second.session(), &specs).expect("second run");
     assert_eq!(
         second.cache().disk_hits(),
         specs.len() as u64,
@@ -165,8 +165,8 @@ fn sweep_cache_shares_fig2_fig3_fig5_ensembles() {
     let _ = std::fs::remove_dir_all(&dir);
     // Serial pool: hit/miss counts are deterministic only without racing
     // misses.
-    let harness = Harness::new(opts(&dir, 1));
-    let ctx = harness.ctx();
+    let harness = SweepService::new(opts(&dir, 1));
+    let ctx = harness.session();
 
     let fig2 = registry().iter().copied().find(|e| e.name() == "fig2");
     let fig3 = registry().iter().copied().find(|e| e.name() == "fig3");
@@ -205,14 +205,14 @@ fn subset_runs_match_full_runs_bytewise() {
     let full_dir = base.join("full");
 
     let _ = std::fs::remove_dir_all(&base);
-    let solo = Harness::new(opts(&solo_dir, 2));
+    let solo = SweepService::new(opts(&solo_dir, 2));
     let selection: Vec<_> = registry()
         .iter()
         .copied()
         .filter(|e| e.name() == "fig3" || e.name() == "adversarial")
         .collect();
     assert_eq!(selection.len(), 2, "fig3 and adversarial registered");
-    for o in run_schedule(&selection, &solo.ctx()) {
+    for o in run_schedule(&selection, &solo.session()) {
         assert!(o.report.is_ok());
     }
     // Every distinct subset configuration computed exactly once.

@@ -148,13 +148,13 @@ impl fmt::Display for ProtocolSpec {
 /// `.with(key, ...)` would otherwise print a form the parser rejects —
 /// silently breaking the `parse(print(spec)) == spec` round-trip — while
 /// construction quietly used the first value.
-fn check_no_duplicate_args(spec: &ProtocolSpec) -> Result<(), String> {
+fn check_no_duplicate_args(spec: &ProtocolSpec) -> Result<(), ValidationError> {
     for (i, (key, value)) in spec.args.iter().enumerate() {
         if spec.args[..i].iter().any(|(k, _)| k == key) {
-            return Err(format!(
-                "protocol `{}` passes parameter `{key}` more than once",
-                spec.name
-            ));
+            return Err(ValidationError::DuplicateParam {
+                protocol: spec.name.clone(),
+                key: key.clone(),
+            });
         }
         if let ArgValue::Spec(inner) = value {
             check_no_duplicate_args(inner)?;
@@ -162,6 +162,126 @@ fn check_no_duplicate_args(spec: &ProtocolSpec) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// A violated [`ScenarioSpec`] invariant, as a typed value.
+///
+/// Every variant carries a stable machine-readable [`code`] — what wire
+/// frontends (the `fairness-serve` daemon's JSON error bodies) key on —
+/// while [`fmt::Display`] renders the human message the CLI and the `.scn`
+/// parser have always printed. Adding a variant is an API change; changing
+/// a `code` string is a wire-protocol change.
+///
+/// [`code`]: ValidationError::code
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ValidationError {
+    /// The scenario name is empty.
+    EmptyName,
+    /// The scenario name contains quotes or newlines (unprintable in the
+    /// `.scn` text form).
+    UnprintableName,
+    /// The protocol name is empty.
+    EmptyProtocolName,
+    /// A protocol (or nested adapter/strategy) passes one parameter twice.
+    DuplicateParam {
+        /// The protocol whose argument list repeats a key.
+        protocol: String,
+        /// The repeated parameter key.
+        key: String,
+    },
+    /// Explicit/empirical shares are empty.
+    EmptyShares,
+    /// A share is negative, NaN or infinite.
+    BadShare,
+    /// Shares sum to zero (no resource in the population).
+    ZeroShareTotal,
+    /// A Zipf population with zero miners.
+    ZipfEmptyPopulation,
+    /// A Zipf exponent that is negative, NaN or infinite.
+    ZipfBadExponent {
+        /// The offending exponent.
+        exponent: f64,
+    },
+    /// The checkpoint grid resolved to no points.
+    EmptyCheckpoints,
+    /// Checkpoints are not strictly ascending.
+    UnsortedCheckpoints,
+    /// The grid starts at step zero.
+    ZeroCheckpoint,
+    /// An explicit repetition count of zero.
+    ZeroRepetitions,
+    /// A withholding period of zero.
+    ZeroWithholding,
+    /// A hash-level cross-check with a zero-block horizon.
+    ZeroSystemHorizon,
+    /// A hash-level cross-check on a population that is not two miners.
+    SystemNeedsTwoMiners,
+}
+
+impl ValidationError {
+    /// Stable kebab-case identifier for wire responses (error bodies key
+    /// on this, not on the display text).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            ValidationError::EmptyName => "empty-name",
+            ValidationError::UnprintableName => "unprintable-name",
+            ValidationError::EmptyProtocolName => "empty-protocol-name",
+            ValidationError::DuplicateParam { .. } => "duplicate-param",
+            ValidationError::EmptyShares => "empty-shares",
+            ValidationError::BadShare => "bad-share",
+            ValidationError::ZeroShareTotal => "zero-share-total",
+            ValidationError::ZipfEmptyPopulation => "zipf-empty-population",
+            ValidationError::ZipfBadExponent { .. } => "zipf-bad-exponent",
+            ValidationError::EmptyCheckpoints => "empty-checkpoints",
+            ValidationError::UnsortedCheckpoints => "unsorted-checkpoints",
+            ValidationError::ZeroCheckpoint => "zero-checkpoint",
+            ValidationError::ZeroRepetitions => "zero-repetitions",
+            ValidationError::ZeroWithholding => "zero-withholding",
+            ValidationError::ZeroSystemHorizon => "zero-system-horizon",
+            ValidationError::SystemNeedsTwoMiners => "system-needs-two-miners",
+        }
+    }
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::EmptyName => write!(f, "scenario name must be non-empty"),
+            ValidationError::UnprintableName => {
+                write!(f, "scenario name must not contain quotes or newlines")
+            }
+            ValidationError::EmptyProtocolName => write!(f, "protocol name must be non-empty"),
+            ValidationError::DuplicateParam { protocol, key } => write!(
+                f,
+                "protocol `{protocol}` passes parameter `{key}` more than once"
+            ),
+            ValidationError::EmptyShares => write!(f, "shares must be non-empty"),
+            ValidationError::BadShare => write!(f, "shares must be finite and non-negative"),
+            ValidationError::ZeroShareTotal => write!(f, "shares must sum to a positive total"),
+            ValidationError::ZipfEmptyPopulation => {
+                write!(f, "zipf shares need at least one miner")
+            }
+            ValidationError::ZipfBadExponent { exponent } => write!(
+                f,
+                "zipf exponent must be finite and non-negative, got {exponent}"
+            ),
+            ValidationError::EmptyCheckpoints => write!(f, "checkpoints must be non-empty"),
+            ValidationError::UnsortedCheckpoints => {
+                write!(f, "checkpoints must be strictly ascending")
+            }
+            ValidationError::ZeroCheckpoint => write!(f, "checkpoints must be positive"),
+            ValidationError::ZeroRepetitions => write!(f, "repetitions must be positive"),
+            ValidationError::ZeroWithholding => write!(f, "withholding period must be positive"),
+            ValidationError::ZeroSystemHorizon => write!(f, "system horizon must be positive"),
+            ValidationError::SystemNeedsTwoMiners => {
+                write!(f, "system cross-checks support exactly two miners")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
 
 fn write_list(f: &mut fmt::Formatter<'_>, vs: &[f64]) -> fmt::Result {
     write!(f, "[")?;
@@ -364,63 +484,65 @@ impl ScenarioSpec {
     /// parser.
     ///
     /// # Errors
-    /// Returns a message describing the first violated invariant.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the first violated invariant as a typed
+    /// [`ValidationError`] — render with `Display` for the human message,
+    /// or key on [`ValidationError::code`] in wire responses.
+    pub fn validate(&self) -> Result<(), ValidationError> {
         if self.name.is_empty() {
-            return Err("scenario name must be non-empty".into());
+            return Err(ValidationError::EmptyName);
         }
         if self.name.contains('"') || self.name.contains('\n') {
-            return Err("scenario name must not contain quotes or newlines".into());
+            return Err(ValidationError::UnprintableName);
         }
         if self.protocol.name.is_empty() {
-            return Err("protocol name must be non-empty".into());
+            return Err(ValidationError::EmptyProtocolName);
         }
         check_no_duplicate_args(&self.protocol)?;
         match &self.shares {
             SharesSpec::Explicit(shares) | SharesSpec::Empirical(shares) => {
                 if shares.is_empty() {
-                    return Err("shares must be non-empty".into());
+                    return Err(ValidationError::EmptyShares);
                 }
                 if !shares.iter().all(|s| s.is_finite() && *s >= 0.0) {
-                    return Err("shares must be finite and non-negative".into());
+                    return Err(ValidationError::BadShare);
                 }
                 if shares.iter().sum::<f64>() <= 0.0 {
-                    return Err("shares must sum to a positive total".into());
+                    return Err(ValidationError::ZeroShareTotal);
                 }
             }
             SharesSpec::Zipf { count, exponent } => {
                 if *count == 0 {
-                    return Err("zipf shares need at least one miner".into());
+                    return Err(ValidationError::ZipfEmptyPopulation);
                 }
                 if !exponent.is_finite() || *exponent < 0.0 {
-                    return Err(format!(
-                        "zipf exponent must be finite and non-negative, got {exponent}"
-                    ));
+                    return Err(ValidationError::ZipfBadExponent {
+                        exponent: *exponent,
+                    });
                 }
             }
         }
         let checkpoints = self.checkpoints.resolve();
         if checkpoints.is_empty() {
-            return Err("checkpoints must be non-empty".into());
+            return Err(ValidationError::EmptyCheckpoints);
         }
         if !checkpoints.windows(2).all(|w| w[0] < w[1]) {
-            return Err("checkpoints must be strictly ascending".into());
+            return Err(ValidationError::UnsortedCheckpoints);
         }
         if checkpoints.first() == Some(&0) {
-            return Err("checkpoints must be positive".into());
+            return Err(ValidationError::ZeroCheckpoint);
         }
         if self.repetitions == Some(0) {
-            return Err("repetitions must be positive".into());
+            return Err(ValidationError::ZeroRepetitions);
         }
         if self.withholding == Some(0) {
-            return Err("withholding period must be positive".into());
+            return Err(ValidationError::ZeroWithholding);
         }
         if let Some(system) = &self.system {
             if system.horizon == 0 {
-                return Err("system horizon must be positive".into());
+                return Err(ValidationError::ZeroSystemHorizon);
             }
             if self.shares.miner_count() != 2 {
-                return Err("system cross-checks support exactly two miners".into());
+                return Err(ValidationError::SystemNeedsTwoMiners);
             }
         }
         Ok(())
@@ -747,22 +869,22 @@ mod tests {
     fn validate_rejects_bad_specs() {
         type Mutation = Box<dyn Fn(&mut ScenarioSpec)>;
         let cases: Vec<(&str, Mutation)> = vec![
-            ("empty name", Box::new(|s| s.name.clear())),
-            ("quoted name", Box::new(|s| s.name = "a\"b".into())),
+            ("empty-name", Box::new(|s| s.name.clear())),
+            ("unprintable-name", Box::new(|s| s.name = "a\"b".into())),
             (
-                "no shares",
+                "empty-shares",
                 Box::new(|s| s.shares = SharesSpec::Explicit(Vec::new())),
             ),
             (
-                "negative share",
+                "bad-share",
                 Box::new(|s| s.shares = SharesSpec::Explicit(vec![-0.1, 1.1])),
             ),
             (
-                "zero total",
+                "zero-share-total",
                 Box::new(|s| s.shares = SharesSpec::Empirical(vec![0.0, 0.0])),
             ),
             (
-                "empty zipf",
+                "zipf-empty-population",
                 Box::new(|s| {
                     s.shares = SharesSpec::Zipf {
                         count: 0,
@@ -771,7 +893,7 @@ mod tests {
                 }),
             ),
             (
-                "negative zipf exponent",
+                "zipf-bad-exponent",
                 Box::new(|s| {
                     s.shares = SharesSpec::Zipf {
                         count: 10,
@@ -780,11 +902,11 @@ mod tests {
                 }),
             ),
             (
-                "duplicate protocol parameter",
+                "duplicate-param",
                 Box::new(|s| s.protocol = ProtocolSpec::new("pow").with("w", 0.01).with("w", 0.02)),
             ),
             (
-                "duplicate nested parameter",
+                "duplicate-param",
                 Box::new(|s| {
                     s.protocol = ProtocolSpec::new("cash-out").with(
                         "inner",
@@ -793,17 +915,17 @@ mod tests {
                 }),
             ),
             (
-                "descending checkpoints",
+                "unsorted-checkpoints",
                 Box::new(|s| s.checkpoints = Checkpoints::Explicit(vec![10, 5])),
             ),
             (
-                "zero checkpoint",
+                "zero-checkpoint",
                 Box::new(|s| s.checkpoints = Checkpoints::Explicit(vec![0, 5])),
             ),
-            ("zero reps", Box::new(|s| s.repetitions = Some(0))),
-            ("zero withholding", Box::new(|s| s.withholding = Some(0))),
+            ("zero-repetitions", Box::new(|s| s.repetitions = Some(0))),
+            ("zero-withholding", Box::new(|s| s.withholding = Some(0))),
             (
-                "system needs two miners",
+                "system-needs-two-miners",
                 Box::new(|s| {
                     s.shares = SharesSpec::Explicit(vec![0.2, 0.3, 0.5]);
                     s.system = Some(SystemSpec {
@@ -814,10 +936,16 @@ mod tests {
                 }),
             ),
         ];
-        for (label, mutate) in cases {
+        // Each case's label IS the expected wire code — the codes are a
+        // stable wire contract for the serve daemon's error bodies.
+        for (expected_code, mutate) in cases {
             let mut spec = sample();
             mutate(&mut spec);
-            assert!(spec.validate().is_err(), "{label} should be rejected");
+            let Err(error) = spec.validate() else {
+                panic!("{expected_code} should be rejected")
+            };
+            assert_eq!(error.code(), expected_code, "wrong code for {error}");
+            assert!(!error.to_string().is_empty());
         }
         assert!(sample().validate().is_ok());
     }

@@ -235,9 +235,11 @@ scenario \"dup\" {
         withholding: None,
         system: None,
     };
-    let message = spec
+    let error = spec
         .validate()
         .expect_err("validate must reject duplicates");
+    assert_eq!(error.code(), "duplicate-param");
+    let message = error.to_string();
     assert!(
         message.contains('w'),
         "message should name the key: {message}"

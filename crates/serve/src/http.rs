@@ -1,0 +1,269 @@
+//! A deliberately small HTTP/1.1 subset over blocking streams.
+//!
+//! The dependency policy (offline container, in-tree stubs only — see the
+//! workspace README) rules out hyper/axum, and the daemon needs very
+//! little: `Content-Length`-delimited request bodies in, either a
+//! `Content-Length` response or a close-delimited NDJSON stream out,
+//! one request per connection (`Connection: close` always). This module
+//! implements exactly that subset and nothing more.
+
+use std::io::{self, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body — generous for `.scn` files, which are a
+/// few KiB at most.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, `DELETE`, …).
+    pub method: String,
+    /// Origin-form request target (`/v1/scenarios`), query string included.
+    pub path: String,
+    /// The request body, exactly `Content-Length` bytes.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; rendered into a `400` (or `413`)
+/// by the connection handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a full head.
+    Eof,
+    /// The request line or a header was malformed.
+    Malformed(&'static str),
+    /// Head or declared body exceeds the fixed limits.
+    TooLarge(&'static str),
+    /// The underlying read failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Eof => write!(f, "connection closed before a full request arrived"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::TooLarge(what) => write!(f, "request too large: {what}"),
+            ParseError::Io(e) => write!(f, "reading request failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reads and parses one request from `stream`.
+///
+/// # Errors
+/// [`ParseError::Eof`] when the peer closes before a complete head,
+/// [`ParseError::Malformed`]/[`ParseError::TooLarge`] for protocol
+/// violations, [`ParseError::Io`] for transport failures.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
+    // Accumulate until the blank line ending the head. Byte-at-a-time
+    // would be slow; read in chunks and scan for the terminator.
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ParseError::TooLarge("request head"));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ParseError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ParseError::Eof);
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| ParseError::Malformed("head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(ParseError::Malformed("request line"));
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("request line"));
+    }
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(ParseError::Malformed("request line"));
+    }
+
+    let mut content_length: usize = 0;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Malformed("header line"));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed("content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge("request body"));
+    }
+
+    // The head scan may have pulled in part (or all) of the body already.
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = vec![0u8; (content_length - body.len()).min(16 * 1024)];
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| ParseError::Io(e.to_string()))?;
+        if n == 0 {
+            return Err(ParseError::Eof);
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes a complete `Content-Length` response and flushes. Every
+/// connection serves one request (`Connection: close`).
+///
+/// # Errors
+/// Any transport write failure.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the head of a close-delimited streaming response (no
+/// `Content-Length`; the body ends when the connection closes). The
+/// caller then writes NDJSON lines directly.
+///
+/// # Errors
+/// Any transport write failure.
+pub fn write_stream_head<W: Write>(stream: &mut W, content_type: &str) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/scenarios HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut Cursor::new(&raw[..])).expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/scenarios");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let raw = b"GET /metrics HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let raw = b"POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nok";
+        assert_eq!(
+            read_request(&mut Cursor::new(&raw[..]))
+                .expect("parses")
+                .body,
+            b"ok"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1 extra\r\n\r\n"[..],
+            &b"GET noslash HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x SPDY/3\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n"[..],
+            &b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(
+                    read_request(&mut Cursor::new(raw)),
+                    Err(ParseError::Malformed(_))
+                ),
+                "{raw:?} should be malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversize_declarations_and_truncated_bodies() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw.as_bytes())),
+            Err(ParseError::TooLarge(_))
+        ));
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..])),
+            Err(ParseError::Eof)
+        ));
+        assert!(matches!(
+            read_request(&mut Cursor::new(&b""[..])),
+            Err(ParseError::Eof)
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let mut out = Vec::new();
+        write_response(&mut out, 404, "Not Found", "application/json", b"{}").expect("writes");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut head = Vec::new();
+        write_stream_head(&mut head, "application/x-ndjson").expect("writes");
+        let text = String::from_utf8(head).expect("utf8");
+        assert!(!text.contains("Content-Length"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+}
