@@ -2,7 +2,8 @@
 //! user-authored scenario files.
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|all]
+//! repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|
+//!        redistribution|all]
 //!       [scenario FILE.scn] [list-protocols]
 //!       [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]
 //!       [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]
@@ -24,7 +25,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|scale|ablations|extensions|adversarial|all]\n\
+    "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|scale|ablations|extensions|adversarial|\n\
+     \x20            redistribution|all]\n\
      \x20            [scenario FILE.scn] [list-protocols] [cache stats|verify|prune]\n\
      \x20            [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]\n\
      \x20            [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]\n\
@@ -46,6 +48,9 @@ fn usage() -> &'static str {
      \x20 extensions cash-out miners, mining pools, decentralization, equitability\n\
      \x20 adversarial selfish mining (alpha x gamma on PoW) + stake grinding\n\
      \x20            (SL-PoS), each sweep validated against its closed form\n\
+     \x20 redistribution cluster-tax / fee-lottery / alleviation adapters vs Gini,\n\
+     \x20            Nakamoto and takeover time, + Sybil-split stress of uniform vs\n\
+     \x20            value-weighted lottery rebates\n\
      \x20 all        everything above\n\
      \n\
      declarative scenarios:\n\

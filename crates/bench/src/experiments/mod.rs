@@ -35,6 +35,7 @@ mod fig3;
 mod fig4;
 mod fig5;
 mod fig6;
+mod redistribution;
 mod scale;
 mod table1;
 
@@ -49,6 +50,7 @@ pub use fig3::fig3;
 pub use fig4::fig4;
 pub use fig5::fig5;
 pub use fig6::fig6;
+pub use redistribution::redistribution;
 pub use scale::{scale, scale_grid, tail_monopolization_threshold};
 pub use table1::{miner_counts, table1};
 
@@ -182,11 +184,18 @@ experiment!(
     "selfish mining alpha x gamma on PoW, stake-grinding depth on SL-PoS",
     deps: []
 );
+experiment!(
+    Redistribution,
+    redistribution::redistribution,
+    "redistribution",
+    "cluster-tax / fee-lottery / alleviation design space + Sybil stress",
+    deps: []
+);
 
 /// All registered experiments, in canonical (presentation) order.
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 11] = [
+    static REGISTRY: [&dyn Experiment; 12] = [
         &Fig1,
         &Fig2,
         &Fig3,
@@ -198,6 +207,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &Ablations,
         &Extensions,
         &AdversarialExp,
+        &Redistribution,
     ];
     &REGISTRY
 }

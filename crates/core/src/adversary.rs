@@ -88,6 +88,15 @@ pub trait Strategy: Send + Sync {
         1
     }
 
+    /// Number of Sybil identities the miner splits her stake across
+    /// (`1` = a single identity, no splitting). Consumed by the
+    /// [`crate::redistribution::Sybil`] adapter, which expands the stake
+    /// vector accordingly; the fork-level drivers ignore it — a
+    /// UTXO-splitting attacker still publishes honestly.
+    fn sybil_identities(&self) -> u32 {
+        1
+    }
+
     /// Stable parameter fingerprint, mirroring
     /// [`IncentiveProtocol::params`].
     fn params(&self) -> Vec<f64>;

@@ -12,6 +12,16 @@
 //!   a majority of the resource (1 means a single 51% attacker exists);
 //! * [`largest_share`] — the top miner's share, the direct 51%-attack
 //!   indicator.
+//!
+//! # Degenerate inputs
+//!
+//! Redistribution and cash-out scenarios can legitimately hold miners at —
+//! or drain whole sub-populations to — zero stake, so every metric shares
+//! one convention for empty or all-zero inputs instead of panicking:
+//! `gini`, `hhi` and `largest_share` return `0.0`, and
+//! `nakamoto_coefficient` returns `0` (no party controls anything, so no
+//! coalition reaches a majority). Negative, NaN or infinite entries are
+//! still programming errors and panic.
 
 /// Gini coefficient of a non-negative distribution.
 ///
@@ -44,39 +54,57 @@ pub fn gini(values: &[f64]) -> f64 {
 
 /// Herfindahl–Hirschman index: the sum of squared resource shares.
 ///
+/// Returns 0 for an empty or all-zero input (see the module docs).
+///
 /// # Panics
-/// Panics if `values` is empty or sums to zero.
+/// Panics on negative, NaN or infinite entries.
 #[must_use]
 pub fn hhi(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "HHI of empty distribution");
+    assert!(
+        values.iter().all(|&v| v.is_finite() && v >= 0.0),
+        "HHI requires non-negative finite values"
+    );
     let total: f64 = values.iter().sum();
-    assert!(total > 0.0, "HHI requires positive total");
+    if total <= 0.0 {
+        return 0.0;
+    }
     values.iter().map(|&v| (v / total).powi(2)).sum()
 }
 
 /// Nakamoto coefficient: the smallest number of parties whose combined
 /// share exceeds `threshold` (default use: 0.5 for a 51% attack).
 ///
+/// The accumulator compares un-normalized stake against `threshold *
+/// total` rather than summing `v / total` shares: dividing each entry
+/// first accrues one rounding per party, and at exact-threshold splits
+/// (e.g. `[0.5, 0.5]` at 0.5) that drift could tip the strict `>` either
+/// way and off-by-one the party count.
+///
+/// Returns 0 for an empty or all-zero input (see the module docs).
+///
 /// # Panics
-/// Panics if `values` is empty, sums to zero, or `threshold ∉ (0, 1)`.
+/// Panics on negative, NaN or infinite entries, or if `threshold ∉ (0, 1)`.
 #[must_use]
 pub fn nakamoto_coefficient(values: &[f64], threshold: f64) -> usize {
-    assert!(
-        !values.is_empty(),
-        "Nakamoto coefficient of empty distribution"
-    );
     assert!(
         threshold > 0.0 && threshold < 1.0,
         "threshold must be in (0,1), got {threshold}"
     );
+    assert!(
+        values.iter().all(|&v| v.is_finite() && v >= 0.0),
+        "Nakamoto coefficient requires non-negative finite values"
+    );
     let total: f64 = values.iter().sum();
-    assert!(total > 0.0, "requires positive total");
+    if total <= 0.0 {
+        return 0;
+    }
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    let bar = threshold * total;
     let mut acc = 0.0;
     for (i, v) in sorted.iter().enumerate() {
-        acc += v / total;
-        if acc > threshold {
+        acc += v;
+        if acc > bar {
             return i + 1;
         }
     }
@@ -85,13 +113,20 @@ pub fn nakamoto_coefficient(values: &[f64], threshold: f64) -> usize {
 
 /// The largest single share of the distribution.
 ///
+/// Returns 0 for an empty or all-zero input (see the module docs).
+///
 /// # Panics
-/// Panics if `values` is empty or sums to zero.
+/// Panics on negative, NaN or infinite entries.
 #[must_use]
 pub fn largest_share(values: &[f64]) -> f64 {
-    assert!(!values.is_empty(), "largest share of empty distribution");
+    assert!(
+        values.iter().all(|&v| v.is_finite() && v >= 0.0),
+        "largest share requires non-negative finite values"
+    );
     let total: f64 = values.iter().sum();
-    assert!(total > 0.0, "requires positive total");
+    if total <= 0.0 {
+        return 0.0;
+    }
     values.iter().cloned().fold(0.0, f64::max) / total
 }
 
@@ -109,10 +144,11 @@ pub struct DecentralizationReport {
 }
 
 impl DecentralizationReport {
-    /// Computes all metrics.
+    /// Computes all metrics. Degenerate (empty or all-zero) inputs yield
+    /// the all-zero report instead of panicking (see the module docs).
     ///
     /// # Panics
-    /// Panics if `values` is empty or sums to zero.
+    /// Panics on negative, NaN or infinite entries.
     #[must_use]
     pub fn measure(values: &[f64]) -> Self {
         Self {
@@ -188,6 +224,71 @@ mod tests {
     }
 
     #[test]
+    fn nakamoto_exact_threshold_splits_resist_float_drift() {
+        // Regression: the old accumulator summed v/total per party, so at
+        // exact-threshold splits the rounding of the division could push
+        // the running sum past the strict `>` one party early. Scaling the
+        // whole vector must never change the count, even at magnitudes
+        // where v/total rounds.
+        for scale in [1.0, 0.1, 3.0, 1e-8, 1e12, 7.3e5] {
+            let half = [0.5 * scale, 0.5 * scale];
+            assert_eq!(nakamoto_coefficient(&half, 0.5), 2, "scale {scale}");
+            let thirds = [scale / 3.0; 3];
+            // Two exact thirds sum to 2/3 > 0.5.
+            assert_eq!(nakamoto_coefficient(&thirds, 0.5), 2, "scale {scale}");
+            let quarters = [0.25 * scale; 4];
+            // 0.25 + 0.25 = 0.5 is not > 0.5; a third party is needed.
+            assert_eq!(nakamoto_coefficient(&quarters, 0.5), 3, "scale {scale}");
+        }
+        // A many-party equal split right at the threshold: k parties hold
+        // exactly threshold·total, so k+1 are needed.
+        let m = 64;
+        let equal = vec![1.0 / m as f64; m];
+        assert_eq!(nakamoto_coefficient(&equal, 0.5), m / 2 + 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_share_one_convention() {
+        // All-zero and empty stake vectors are reachable once
+        // redistribution/cash-out scenarios drain miners; every metric
+        // returns its zero instead of panicking, consistently with gini.
+        for degenerate in [&[][..], &[0.0, 0.0][..], &[0.0][..]] {
+            assert_eq!(gini(degenerate), 0.0);
+            assert_eq!(hhi(degenerate), 0.0);
+            assert_eq!(nakamoto_coefficient(degenerate, 0.5), 0);
+            assert_eq!(largest_share(degenerate), 0.0);
+            let r = DecentralizationReport::measure(degenerate);
+            assert_eq!(
+                r,
+                DecentralizationReport {
+                    gini: 0.0,
+                    hhi: 0.0,
+                    nakamoto: 0,
+                    largest_share: 0.0,
+                }
+            );
+            assert!(!r.majority_controlled());
+        }
+        // A *partially* drained population still measures normally.
+        let r = DecentralizationReport::measure(&[0.0, 0.7, 0.3]);
+        assert_eq!(r.nakamoto, 1);
+        assert!((r.largest_share - 0.7).abs() < 1e-12);
+        assert!((r.hhi - (0.49 + 0.09)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn hhi_still_rejects_negative_entries() {
+        let _ = hhi(&[0.5, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn nakamoto_still_rejects_bad_thresholds() {
+        let _ = nakamoto_coefficient(&[0.5, 0.5], 1.5);
+    }
+
+    #[test]
     fn slpos_game_centralizes() {
         use crate::game::MiningGame;
         use crate::protocols::SlPos;
@@ -223,11 +324,5 @@ mod tests {
         // ML-PoS spreads but rarely collapses to a single majority holder
         // from an equal start at small w.
         assert!(report.nakamoto >= 2, "nakamoto {}", report.nakamoto);
-    }
-
-    #[test]
-    #[should_panic(expected = "positive total")]
-    fn hhi_rejects_zero_total() {
-        let _ = hhi(&[0.0, 0.0]);
     }
 }

@@ -52,6 +52,7 @@ pub mod miner;
 pub mod montecarlo;
 pub mod protocol;
 pub mod protocols;
+pub mod redistribution;
 pub mod registry;
 pub mod scenario;
 pub mod strategies;
@@ -75,6 +76,7 @@ pub use montecarlo::{
 };
 pub use protocol::{IncentiveProtocol, StepRewards};
 pub use protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+pub use redistribution::{Alleviation, ClusterTax, FeeLottery, Sybil, SybilSplit};
 pub use registry::{BoxedProtocol, BoxedStrategy, RegistryError};
 pub use scenario::{
     print_scenarios, Checkpoints, ProtocolSpec, ScenarioSpec, SharesSpec, SystemSpec,
@@ -99,6 +101,7 @@ pub mod prelude {
     };
     pub use crate::protocol::{IncentiveProtocol, StepRewards};
     pub use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+    pub use crate::redistribution::{Alleviation, ClusterTax, FeeLottery, Sybil, SybilSplit};
     pub use crate::registry::{BoxedProtocol, BoxedStrategy};
     pub use crate::scenario::{Checkpoints, ProtocolSpec, ScenarioSpec, SharesSpec, SystemSpec};
     pub use crate::strategies::{CashOut, MiningPool};

@@ -167,6 +167,28 @@ mod tests {
     }
 
     #[test]
+    fn zipf_shares_survive_extreme_exponents() {
+        // The share-vector counterpart of the stats-layer underflow guard:
+        // even when powf collapses the tail to a single winner, the
+        // normalized shares stay finite, non-negative, and sum to 1.
+        for (m, exponent) in [(1_000_000, 50.0), (1_000_000, 0.0), (10, 50.0), (1, 25.0)] {
+            let s = zipf_shares(m, exponent);
+            assert_eq!(s.len(), m);
+            assert!(
+                s.iter().all(|x| x.is_finite() && *x >= 0.0),
+                "m={m} s={exponent}"
+            );
+            assert!(
+                (s.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+                "m={m} s={exponent}"
+            );
+        }
+        // The collapsed regime really is single-winner.
+        let s = zipf_shares(100, 50.0);
+        assert!(s[0] > 1.0 - 1e-12 && s[1] < 1e-12);
+    }
+
+    #[test]
     #[should_panic(expected = "in (0,1)")]
     fn two_miner_rejects_one() {
         let _ = two_miner(1.0);

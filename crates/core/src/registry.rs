@@ -19,6 +19,7 @@ use crate::adversary::{
 };
 use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
+use crate::redistribution::{Alleviation, ClusterTax, FeeLottery, Sybil, SybilSplit};
 use crate::scenario::{ArgValue, ProtocolSpec};
 use crate::strategies::{CashOut, MiningPool};
 use fairness_stats::rng::Xoshiro256StarStar;
@@ -207,6 +208,10 @@ impl Strategy for BoxedStrategy {
 
     fn grinding_tries(&self) -> u32 {
         self.0.grinding_tries()
+    }
+
+    fn sybil_identities(&self) -> u32 {
+        self.0.sybil_identities()
     }
 
     fn params(&self) -> Vec<f64> {
@@ -756,6 +761,117 @@ static PROTOCOLS: &[ProtocolEntry] = &[
                 )
         },
     },
+    ProtocolEntry {
+        name: "cluster-tax",
+        summary: "adapter: progressive fee on step rewards — rate grows with the recipient's wealth cluster, proceeds rebated equally",
+        params: &[
+            required("inner", ParamKind::Spec, INNER_DOC),
+            num("strength", 0.5, "top tax rate in [0, 1] paid by the richest cluster"),
+            num("decay", 0.0, "per-step decay in [0, 1] of the initial cluster tags toward current shares"),
+        ],
+        construct: |args, shares| {
+            let inner = construct(args.spec("inner")?, shares)?;
+            let strength = args.number("strength")?;
+            if !(0.0..=1.0).contains(&strength) {
+                return Err(args.bad("strength", format!("must be in [0, 1], got {strength}")));
+            }
+            let decay = args.number("decay")?;
+            if !(0.0..=1.0).contains(&decay) {
+                return Err(args.bad("decay", format!("must be in [0, 1], got {decay}")));
+            }
+            Ok(BoxedProtocol::new(ClusterTax::new(
+                inner, strength, decay, shares,
+            )))
+        },
+        example: || {
+            ProtocolSpec::new("cluster-tax")
+                .with("inner", ProtocolSpec::new("sl-pos").with("w", 0.01))
+                .with("strength", 0.5)
+                .with("decay", 0.05)
+        },
+    },
+    ProtocolEntry {
+        name: "fee-lottery",
+        summary: "adapter: a flat fee on every reward funds one rebate-lottery winner per step (uniform or value-weighted)",
+        params: &[
+            required("inner", ParamKind::Spec, INNER_DOC),
+            num("fee", 0.5, "fee rate in [0, 1] levied on every step reward"),
+            num("weighted", 0.0, "1 = value-weighted (stake-proportional) rebate draw, 0 = uniform"),
+        ],
+        construct: |args, shares| {
+            let inner = construct(args.spec("inner")?, shares)?;
+            let fee = args.number("fee")?;
+            if !(0.0..=1.0).contains(&fee) {
+                return Err(args.bad("fee", format!("must be in [0, 1], got {fee}")));
+            }
+            let flag = args.number("weighted")?;
+            let weighted = if flag == 0.0 {
+                false
+            } else if flag == 1.0 {
+                true
+            } else {
+                return Err(args.bad("weighted", format!("must be 0 or 1, got {flag}")));
+            };
+            Ok(BoxedProtocol::new(FeeLottery::new(inner, fee, weighted)))
+        },
+        example: || {
+            ProtocolSpec::new("fee-lottery")
+                .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                .with("fee", 0.5)
+                .with("weighted", 0.0)
+        },
+    },
+    ProtocolEntry {
+        name: "alleviation",
+        summary: "adapter: Naderi-style compounding alleviation — a recipient keeps (1 − share)^beta of her reward, the rest is rebated equally",
+        params: &[
+            required("inner", ParamKind::Spec, INNER_DOC),
+            num("beta", 2.0, "discount exponent >= 0 (0 = no-op)"),
+        ],
+        construct: |args, shares| {
+            let inner = construct(args.spec("inner")?, shares)?;
+            Ok(BoxedProtocol::new(Alleviation::new(
+                inner,
+                args.non_negative("beta")?,
+            )))
+        },
+        example: || {
+            ProtocolSpec::new("alleviation")
+                .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                .with("beta", 2.0)
+        },
+    },
+    ProtocolEntry {
+        name: "sybil",
+        summary: "adapter: miner 0 splits her stake across the strategy's identity count to exploit cluster-sensitive redistribution",
+        params: &[
+            required("inner", ParamKind::Spec, INNER_DOC),
+            required(
+                "strategy",
+                ParamKind::Spec,
+                "sybil-split(identities) | honest",
+            ),
+        ],
+        construct: |args, shares| {
+            let inner = construct(args.spec("inner")?, shares)?;
+            let strategy = construct_strategy(args.spec("strategy")?)?;
+            Ok(BoxedProtocol::new(Sybil::new(inner, strategy)))
+        },
+        example: || {
+            ProtocolSpec::new("sybil")
+                .with(
+                    "inner",
+                    ProtocolSpec::new("fee-lottery")
+                        .with("inner", ProtocolSpec::new("ml-pos").with("w", 0.01))
+                        .with("fee", 0.5)
+                        .with("weighted", 0.0),
+                )
+                .with(
+                    "strategy",
+                    ProtocolSpec::new("sybil-split").with("identities", 10.0),
+                )
+        },
+    },
 ];
 
 static STRATEGIES: &[StrategyEntry] = &[
@@ -793,6 +909,22 @@ static STRATEGIES: &[StrategyEntry] = &[
                 return Err(args.bad("tries", "must be a positive integer"));
             }
             Ok(BoxedStrategy::new(StakeGrinding::new(tries as u32)))
+        },
+    },
+    StrategyEntry {
+        name: "sybil-split",
+        summary: "present the attacker's stake as `identities` separate addresses (publishes honestly; pair with the `sybil` adapter)",
+        params: &[num(
+            "identities",
+            1.0,
+            "addresses the attacker splits her stake across (1 = no attack)",
+        )],
+        construct: |args| {
+            let identities = args.index("identities")?;
+            if identities == 0 || identities > u32::MAX as usize {
+                return Err(args.bad("identities", "must be a positive integer"));
+            }
+            Ok(BoxedStrategy::new(SybilSplit::new(identities as u32)))
         },
     },
 ];

@@ -99,6 +99,39 @@ fn params_fingerprints_are_pinned() {
             fingerprint(&Adversary::new(SlPos::new(0.01), Honest)),
             0x9E0C_B5DA_86C8_6B0F,
         ),
+        (
+            "cluster-tax(SL-PoS)",
+            fingerprint(&ClusterTax::new(SlPos::new(0.01), 0.5, 0.05, &shares)),
+            0x4F0E_2470_FCB5_0A1B,
+        ),
+        (
+            "fee-lottery[uniform](ML-PoS)",
+            fingerprint(&FeeLottery::new(MlPos::new(0.01), 0.5, false)),
+            0xD555_277F_4364_0384,
+        ),
+        (
+            "fee-lottery[value](ML-PoS)",
+            fingerprint(&FeeLottery::new(MlPos::new(0.01), 0.5, true)),
+            0x87DB_5C69_004B_B960,
+        ),
+        (
+            "alleviation(ML-PoS)",
+            fingerprint(&Alleviation::new(MlPos::new(0.01), 2.0)),
+            0xAD68_FF32_44D6_F46E,
+        ),
+        (
+            "sybil(fee-lottery[uniform](ML-PoS))",
+            fingerprint(&Sybil::new(
+                FeeLottery::new(MlPos::new(0.01), 0.5, false),
+                SybilSplit::new(10),
+            )),
+            0xAD67_AA43_4B62_47B4,
+        ),
+        (
+            "sybil-split(SL-PoS)",
+            fingerprint(&Adversary::new(SlPos::new(0.01), SybilSplit::new(10))),
+            0xB326_F6B0_8C96_EBB7,
+        ),
     ];
     let mut mismatches = Vec::new();
     for (label, actual, expected) in &pinned {
@@ -142,6 +175,10 @@ fn every_registry_entry_constructs_and_matches_the_pinned_snapshots() {
         ("cash-out", 0x1172_8EAD_F4DC_4663),
         ("mining-pool", 0xF2A9_0128_3885_D2C6),
         ("adversary", 0x6D36_F008_DD9A_9622),
+        ("cluster-tax", 0x4F0E_2470_FCB5_0A1B),
+        ("fee-lottery", 0xD555_277F_4364_0384),
+        ("alleviation", 0xAD68_FF32_44D6_F46E),
+        ("sybil", 0xAD67_AA43_4B62_47B4),
     ];
     let registered: Vec<&str> = registry::registry().iter().map(|e| e.name).collect();
     let snapshot: Vec<&str> = pinned.iter().map(|(n, _)| *n).collect();
@@ -189,6 +226,11 @@ fn every_registry_strategy_constructs_and_matches_the_pinned_snapshots() {
             ProtocolSpec::new("sl-pos").with("w", 0.01),
             0x5F18_9EB2_BA7B_F19E,
         ),
+        (
+            "sybil-split",
+            ProtocolSpec::new("sl-pos").with("w", 0.01),
+            0xB326_F6B0_8C96_EBB7,
+        ),
     ];
     let registered: Vec<&str> = registry::strategies().iter().map(|e| e.name).collect();
     let snapshot: Vec<&str> = pinned.iter().map(|(n, _, _)| *n).collect();
@@ -197,6 +239,7 @@ fn every_registry_strategy_constructs_and_matches_the_pinned_snapshots() {
         let strategy = match *name {
             "selfish-mining" => ProtocolSpec::new(*name).with("gamma", 0.5),
             "stake-grinding" => ProtocolSpec::new(*name).with("tries", 4.0),
+            "sybil-split" => ProtocolSpec::new(*name).with("identities", 10.0),
             _ => ProtocolSpec::new(*name),
         };
         let spec = ProtocolSpec::new("adversary")

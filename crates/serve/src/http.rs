@@ -96,7 +96,11 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
         return Err(ParseError::Malformed("request line"));
     }
 
-    let mut content_length: usize = 0;
+    // `Content-Length` is the only framing we trust, so it gets the full
+    // smuggling treatment: repeated headers must agree (RFC 9110 §8.6 —
+    // conflicting lengths are how request-smuggling desyncs start), and
+    // the declared length is capped *before* any body allocation.
+    let mut content_length: Option<usize> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -105,12 +109,19 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ParseError> {
             return Err(ParseError::Malformed("header line"));
         };
         if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
+            let parsed: usize = value
                 .trim()
                 .parse()
                 .map_err(|_| ParseError::Malformed("content-length"))?;
+            match content_length {
+                Some(previous) if previous != parsed => {
+                    return Err(ParseError::Malformed("conflicting content-length headers"));
+                }
+                _ => content_length = Some(parsed),
+            }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(ParseError::TooLarge("request body"));
     }
@@ -227,6 +238,30 @@ mod tests {
                 "{raw:?} should be malformed"
             );
         }
+    }
+
+    #[test]
+    fn duplicate_content_lengths_must_agree() {
+        // Identical repeats are tolerated (proxies deduplicate badly)...
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok";
+        assert_eq!(
+            read_request(&mut Cursor::new(&raw[..]))
+                .expect("parses")
+                .body,
+            b"ok"
+        );
+        // ...conflicting ones are the smuggling primitive and hard-fail.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 5\r\n\r\nhello";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..])),
+            Err(ParseError::Malformed("conflicting content-length headers"))
+        ));
+        // Case differences do not hide the conflict.
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 3\r\nCONTENT-LENGTH: 4\r\n\r\nabcd";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..])),
+            Err(ParseError::Malformed(_))
+        ));
     }
 
     #[test]

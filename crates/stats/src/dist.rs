@@ -976,6 +976,65 @@ pub fn stake_grinding_win_probability(p: f64, tries: u32) -> f64 {
     p / (1.0 + p - g)
 }
 
+/// Sybil advantage of a *uniform* rebate lottery: a miner presenting as
+/// `identities` addresses among `m` single-identity peers holds
+/// `identities` of the `m + identities − 1` tickets, so her expected
+/// rebate relative to playing one identity is
+///
+/// ```text
+/// A(m, k) = k·m / (m + k − 1)
+/// ```
+///
+/// `A(100, 10) ≈ 9.17` — the designed value behind the ≈ 9.3× advantage
+/// botho measures empirically for uniform lotteries; the value-weighted
+/// variant has `A ≡ 1` (splitting stake never changes total ticket
+/// weight). The `repro redistribution` Monte-Carlo tables are validated
+/// against this law.
+///
+/// # Panics
+/// Panics unless `m ≥ 1` and `identities ≥ 1`.
+#[must_use]
+pub fn uniform_lottery_sybil_advantage(m: usize, identities: u32) -> f64 {
+    assert!(m >= 1, "need at least one miner");
+    assert!(identities >= 1, "a miner has at least one identity");
+    let m = m as f64;
+    let k = f64::from(identities);
+    k * m / (m + k - 1.0)
+}
+
+/// Expected per-step income share of a `k = identities` Sybil miner under
+/// fee-lottery redistribution over `m` equally-staked miners (stakes
+/// frozen at the initial split):
+///
+/// ```text
+/// share = (1 − fee)/m + fee · [ k/(m + k − 1)   uniform
+///                               1/m             value-weighted ]
+/// ```
+///
+/// The `1 − fee` part flows through the stake-proportional inner
+/// protocol, which identity splitting cannot move; the fee pot goes to
+/// the rebate lottery, where only the uniform variant counts addresses.
+///
+/// # Panics
+/// Panics unless `m ≥ 1`, `identities ≥ 1` and `fee ∈ [0, 1]`.
+#[must_use]
+pub fn fee_lottery_income_share(m: usize, identities: u32, fee: f64, weighted: bool) -> f64 {
+    assert!(m >= 1, "need at least one miner");
+    assert!(identities >= 1, "a miner has at least one identity");
+    assert!(
+        (0.0..=1.0).contains(&fee),
+        "fee must be in [0, 1], got {fee}"
+    );
+    let base = 1.0 / m as f64;
+    let rebate = if weighted {
+        base
+    } else {
+        let k = f64::from(identities);
+        k / (m as f64 + k - 1.0)
+    };
+    (1.0 - fee) * base + fee * rebate
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1191,6 +1250,34 @@ mod tests {
     #[should_panic(expected = "must be in [0, 0.5]")]
     fn selfish_mining_rejects_majority_share() {
         let _ = selfish_mining_relative_revenue(0.6, 0.0);
+    }
+
+    #[test]
+    fn fee_lottery_reference_points() {
+        // One identity is no attack under either variant.
+        assert!((uniform_lottery_sybil_advantage(100, 1) - 1.0).abs() < 1e-15);
+        // botho's designed reference: k = 10 of m = 100 → 1000/109 ≈ 9.17
+        // (measured ≈ 9.3× for the uniform lottery).
+        let adv = uniform_lottery_sybil_advantage(100, 10);
+        assert!((adv - 1000.0 / 109.0).abs() < 1e-12, "{adv}");
+        // Pure-fee income ratio equals the advantage by construction.
+        let ratio = fee_lottery_income_share(100, 10, 1.0, false)
+            / fee_lottery_income_share(100, 1, 1.0, false);
+        assert!((ratio - adv).abs() < 1e-12, "{ratio}");
+        // Value-weighted shares never move with the identity count.
+        for k in [1, 2, 10, 50] {
+            let share = fee_lottery_income_share(20, k, 0.5, true);
+            assert!((share - 0.05).abs() < 1e-15, "k={k}: {share}");
+        }
+        // Zero fee: everything flows through the proportional inner
+        // protocol, identities irrelevant.
+        assert!((fee_lottery_income_share(10, 10, 0.0, false) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one identity")]
+    fn sybil_advantage_rejects_zero_identities() {
+        let _ = uniform_lottery_sybil_advantage(10, 0);
     }
 
     #[test]

@@ -424,4 +424,33 @@ mod tests {
     fn empty_rejected() {
         let _ = FenwickSampler::new(&[]);
     }
+
+    #[test]
+    fn zipf_weights_survive_extreme_exponents_at_scale() {
+        // Million-rank populations at the full supported exponent range:
+        // deep tails underflow powf toward (but never past) zero, and the
+        // vector must stay finite and sum-normalizable throughout.
+        let n = 1_000_000;
+        for s in [0.0, 1.0, 25.0, 50.0] {
+            let w = zipf_weights(n, s);
+            assert_eq!(w.len(), n);
+            assert_eq!(w[0], 1.0, "rank 1 weighs exactly 1 at s={s}");
+            assert!(
+                w.iter().all(|x| x.is_finite() && *x >= 0.0),
+                "non-finite weight at s={s}"
+            );
+            let total: f64 = w.iter().sum();
+            assert!(total.is_finite() && total >= 1.0, "total {total} at s={s}");
+            let normalized: f64 = w.iter().map(|x| x / total).sum();
+            assert!((normalized - 1.0).abs() < 1e-9, "s={s}: {normalized}");
+            // Weights are non-increasing in rank even deep in the
+            // underflow regime.
+            assert!(w.windows(2).all(|p| p[1] <= p[0]), "s={s}");
+        }
+        // s = 50 is effectively single-winner over a million ranks — the
+        // collapse the satellite guards: still normalizable, not NaN.
+        let w = zipf_weights(n, 50.0);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "collapsed total {total}");
+    }
 }

@@ -1,8 +1,9 @@
 //! Property-based tests for the numerics substrate.
 
 use fairness_stats::dist::{
-    Bernoulli, Beta, Binomial, ContinuousDistribution, DiscreteDistribution, Exponential, Gamma,
-    Geometric, Normal, Poisson, Uniform,
+    fee_lottery_income_share, uniform_lottery_sybil_advantage, Bernoulli, Beta, Binomial,
+    ContinuousDistribution, DiscreteDistribution, Exponential, Gamma, Geometric, Normal, Poisson,
+    Uniform,
 };
 use fairness_stats::polya::PolyaUrn;
 use fairness_stats::rng::{SeedSequence, Xoshiro256StarStar};
@@ -157,6 +158,49 @@ proptest! {
         for i in 0..n {
             prop_assert!((z.pmf(i) - 1.0 / n as f64).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn zipf_extreme_exponents_stay_normalizable(n in 1usize..2000, s in 0.0f64..50.0) {
+        // Large exponents drive powf toward underflow — the tail collapses
+        // toward a single winner, but every weight must stay finite,
+        // non-NaN, and the vector must remain sum-normalizable (rank 1
+        // always weighs exactly 1, so the total is in [1, n]).
+        let w = zipf_weights(n, s);
+        prop_assert!(w.iter().all(|x| x.is_finite() && *x >= 0.0));
+        prop_assert!((w[0] - 1.0).abs() < 1e-15);
+        let total: f64 = w.iter().sum();
+        prop_assert!(total.is_finite() && total >= 1.0);
+        let normalized: f64 = w.iter().map(|x| x / total).sum();
+        prop_assert!((normalized - 1.0).abs() < 1e-9);
+    }
+
+    // ---------------- fee-lottery redistribution laws ----------------
+
+    #[test]
+    fn uniform_lottery_beats_value_weighted_for_sybils(m in 2usize..500, k in 2u32..64,
+                                                       fee in 0.01f64..1.0) {
+        // The ordering behind the `repro redistribution` Sybil table: with
+        // any real fee and more than one identity, the uniform rebate
+        // lottery strictly over-pays the Sybil while the value-weighted
+        // variant is immune.
+        let uniform = fee_lottery_income_share(m, k, fee, false);
+        let value = fee_lottery_income_share(m, k, fee, true);
+        prop_assert!(uniform > value, "uniform {uniform} vs value {value}");
+        // Value-weighted shares are independent of the identity count.
+        let single = fee_lottery_income_share(m, 1, fee, true);
+        prop_assert!((value - single).abs() < 1e-15);
+        // The uniform advantage exceeds 1, grows with k, and matches the
+        // pure-fee income ratio.
+        let adv = uniform_lottery_sybil_advantage(m, k);
+        prop_assert!(adv > 1.0);
+        prop_assert!(uniform_lottery_sybil_advantage(m, k + 1) > adv);
+        let ratio = fee_lottery_income_share(m, k, 1.0, false)
+            / fee_lottery_income_share(m, 1, 1.0, false);
+        prop_assert!((ratio - adv).abs() < 1e-9);
+        // And it is capped by both the identity count and the population.
+        prop_assert!(adv < f64::from(k) + 1e-12);
+        prop_assert!(adv < m as f64 + 1e-12);
     }
 
     #[test]
