@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|ablations|extensions|
-//!        redistribution|all]
+//!        redistribution|optimal|all]
 //!       [scenario FILE.scn] [list-protocols]
 //!       [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]
 //!       [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]
@@ -26,7 +26,7 @@ use std::process::ExitCode;
 
 fn usage() -> &'static str {
     "usage: repro [fig1|fig2|fig3|fig4|fig5|fig6|table1|scale|ablations|extensions|adversarial|\n\
-     \x20            redistribution|all]\n\
+     \x20            redistribution|optimal|all]\n\
      \x20            [scenario FILE.scn] [list-protocols] [cache stats|verify|prune]\n\
      \x20            [--quick] [--jobs N] [--reps N] [--system-reps N] [--seed N]\n\
      \x20            [--max-miners N] [--no-system] [--no-disk-cache] [--out DIR]\n\
@@ -51,6 +51,9 @@ fn usage() -> &'static str {
      \x20 redistribution cluster-tax / fee-lottery / alleviation adapters vs Gini,\n\
      \x20            Nakamoto and takeover time, + Sybil-split stress of uniform vs\n\
      \x20            value-weighted lottery rebates\n\
+     \x20 optimal    fork-MDP value iteration: optimal vs Eyal-Sirer policy grid,\n\
+     \x20            compounding-PoS withholding attack (revenue gap vs PoW and\n\
+     \x20            profitability thresholds), two-attacker equilibrium search\n\
      \x20 all        everything above\n\
      \n\
      declarative scenarios:\n\
@@ -88,6 +91,9 @@ fn list_protocols() -> String {
     out.push_str("\nstrategies — for adversary(strategy = ...):\n");
     for entry in fairness_core::registry::strategies() {
         out.push_str(&format!("  {:<44} {}\n", entry.signature(), entry.summary));
+        for p in entry.params {
+            out.push_str(&format!("      {:<12} {}\n", p.key, p.doc));
+        }
     }
     out.push_str(
         "\nExample scenario file (see examples/selfish_sweep.scn):\n\n\

@@ -35,6 +35,7 @@ mod fig3;
 mod fig4;
 mod fig5;
 mod fig6;
+mod optimal;
 mod redistribution;
 mod scale;
 mod table1;
@@ -50,6 +51,7 @@ pub use fig3::fig3;
 pub use fig4::fig4;
 pub use fig5::fig5;
 pub use fig6::fig6;
+pub use optimal::{compound_specs, empirical_threshold, mdp_depth, optimal};
 pub use redistribution::redistribution;
 pub use scale::{scale, scale_grid, tail_monopolization_threshold};
 pub use table1::{miner_counts, table1};
@@ -191,11 +193,18 @@ experiment!(
     "cluster-tax / fee-lottery / alleviation design space + Sybil stress",
     deps: []
 );
+experiment!(
+    Optimal,
+    optimal::optimal,
+    "optimal",
+    "fork-MDP optimal withholding grid, compounding-PoS attack, equilibria",
+    deps: ["adversarial"]
+);
 
 /// All registered experiments, in canonical (presentation) order.
 #[must_use]
 pub fn registry() -> &'static [&'static dyn Experiment] {
-    static REGISTRY: [&dyn Experiment; 12] = [
+    static REGISTRY: [&dyn Experiment; 13] = [
         &Fig1,
         &Fig2,
         &Fig3,
@@ -208,6 +217,7 @@ pub fn registry() -> &'static [&'static dyn Experiment] {
         &Extensions,
         &AdversarialExp,
         &Redistribution,
+        &Optimal,
     ];
     &REGISTRY
 }

@@ -1,0 +1,442 @@
+//! Optimal adversaries: the fork-MDP value-iteration policy grid, the
+//! compounding-PoS withholding attack, and two-attacker equilibria.
+//!
+//! Three outputs:
+//!
+//! * `optimal_policy.csv` — exact (no Monte Carlo) α×γ grid of the
+//!   optimal withholding revenue vs the Eyal–Sirer heuristic, with each
+//!   policy's content fingerprint;
+//! * `compounding_attack.csv` — the same optimal policy played through
+//!   the ensemble path on PoW / ML-PoS / SL-PoS, where PoS reward
+//!   compounding feeds settled blocks back into the attacker's selection
+//!   weight. Emits the revenue gap vs the PoW baseline at matched α and
+//!   an empirical profitability-threshold column per protocol;
+//! * `equilibrium.csv` — iterated best-response search between two
+//!   strategic withholders under the mean-field coupling.
+//!
+//! MDP solves are content-memoized process-wide, so the grid, the
+//! ensembles (one solve per distinct `(α, γ, depth)`), and the
+//! equilibria share work and the whole experiment is byte-identical for
+//! any `--jobs` level.
+
+use super::common::W_DEFAULT;
+use super::SweepSession;
+use crate::report::{fmt4, write_csv, TextTable};
+use crate::runner::run_scenarios;
+use fairness_core::mdp::{best_response_equilibrium, solve_optimal, EquilibriumConfig};
+use fairness_core::prelude::*;
+use fairness_stats::dist::{selfish_mining_relative_revenue, selfish_mining_threshold};
+use std::fmt::Write as _;
+use std::io;
+
+/// The swept attacker shares for the exact policy grid.
+const ALPHAS: [f64; 8] = [0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45];
+/// The swept tie-break parameters.
+const GAMMAS: [f64; 3] = [0.0, 0.5, 1.0];
+/// Attacker shares for the compounding ensemble sweep.
+const COMPOUND_ALPHAS: [f64; 6] = [0.15, 0.20, 0.25, 0.30, 0.35, 0.40];
+/// Tie-break parameter for the compounding sweep and the equilibria.
+const GAMMA_COMPOUND: f64 = 0.5;
+/// Inner protocols for the compounding sweep: PoW is the non-compounding
+/// baseline; ML-PoS and SL-PoS feed settled rewards back into stake.
+const PROTOCOLS: [&str; 3] = ["pow", "ml-pos", "sl-pos"];
+/// Two-attacker share pairs searched for equilibria.
+const PAIRS: [[f64; 2]; 3] = [[0.20, 0.20], [0.30, 0.15], [0.25, 0.35]];
+/// Floor for the empirical-threshold noise margin. The margin actually
+/// used is ~2.5 standard errors of the ensemble mean (estimated from the
+/// final p05–p95 band), per protocol, so break-even Monte-Carlo estimates
+/// do not read as profitable attacks even on high-variance PoS ensembles.
+const MC_MARGIN_FLOOR: f64 = 1e-3;
+
+/// Truncation depth tier by repetition budget: unit tests stay at a tiny
+/// (but still exact) grid, `--quick` gets the depth the property tests
+/// validate, full runs the depth where truncation bias is ≤ 1e-3 for
+/// every swept α ≤ 0.45 except the extreme corner (see the README's
+/// truncation note).
+#[must_use]
+pub fn mdp_depth(repetitions: usize) -> u32 {
+    if repetitions < 500 {
+        8
+    } else if repetitions < 5000 {
+        24
+    } else {
+        48
+    }
+}
+
+/// The compounding sweep as data: every point is an `adversary`
+/// composition a user could write in a `.scn` file (see
+/// `examples/optimal.scn`).
+#[must_use]
+pub fn compound_specs(depth: u32) -> Vec<ScenarioSpec> {
+    PROTOCOLS
+        .iter()
+        .flat_map(|&proto| {
+            COMPOUND_ALPHAS.iter().map(move |&alpha| {
+                ScenarioSpec::builder(
+                    format!("opt compound {proto} a={alpha} d={depth}"),
+                    ProtocolSpec::new("adversary")
+                        .with("inner", ProtocolSpec::new(proto).with("w", W_DEFAULT))
+                        .with(
+                            "strategy",
+                            ProtocolSpec::new("optimal-withholding")
+                                .with("alpha", alpha)
+                                .with("gamma", GAMMA_COMPOUND)
+                                .with("depth", f64::from(depth)),
+                        ),
+                )
+                .two_miner(alpha)
+                .linear(2000, 10)
+                .build()
+            })
+        })
+        .collect()
+}
+
+/// First α at which `revenue(α) > α + margin`, linearly interpolated
+/// between grid points on the profitability gap. The margin absorbs
+/// Monte-Carlo noise in the revenue estimates (a few standard errors at
+/// `--quick` scale), so a break-even point does not read as an attack.
+/// Degenerate-safe: profitable already at the first point → that point;
+/// never profitable on the grid → 0.5 (the grid's natural cap — no miner
+/// holds a majority); a flat gap across the crossing → the right
+/// endpoint.
+#[must_use]
+pub fn empirical_threshold(alphas: &[f64], revenues: &[f64], margin: f64) -> f64 {
+    let mut prev: Option<(f64, f64)> = None;
+    for (&alpha, &revenue) in alphas.iter().zip(revenues) {
+        let gap = revenue - alpha - margin;
+        if gap > 0.0 {
+            return match prev {
+                None => alpha,
+                Some((pa, pg)) => {
+                    let denom = gap - pg;
+                    if denom.abs() < 1e-12 {
+                        alpha
+                    } else {
+                        pa + (alpha - pa) * (-pg) / denom
+                    }
+                }
+            };
+        }
+        prev = Some((alpha, gap));
+    }
+    0.5
+}
+
+/// Optimal-adversary engine: exact policy grid, compounding-PoS attack
+/// ensembles, and the two-attacker best-response search.
+pub fn optimal(ctx: &SweepSession) -> io::Result<String> {
+    let opts = ctx.opts;
+    let depth = mdp_depth(opts.repetitions);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Optimal adversaries ({} repetitions, fork-MDP depth {depth})",
+        opts.repetitions
+    );
+
+    // ---- Exact α×γ policy grid (no Monte Carlo) ----------------------
+    {
+        let grid: Vec<(f64, f64)> = GAMMAS
+            .iter()
+            .flat_map(|&g| ALPHAS.iter().map(move |&a| (a, g)))
+            .collect();
+        let solved = ctx.pool.par_map(grid.len(), |i| {
+            let (alpha, gamma) = grid[i];
+            solve_optimal(alpha, gamma, depth)
+        });
+
+        let mut t = TextTable::new(vec![
+            "alpha",
+            "gamma",
+            "optimal",
+            "eyal-sirer",
+            "gap",
+            "policy fingerprint",
+        ]);
+        let mut rows = Vec::new();
+        for ((alpha, gamma), policy) in grid.iter().zip(&solved) {
+            let gap = policy.revenue - policy.eyal_sirer;
+            t.row(vec![
+                fmt4(*alpha),
+                fmt4(*gamma),
+                fmt4(policy.revenue),
+                fmt4(policy.eyal_sirer),
+                fmt4(gap),
+                format!("{:016x}", policy.fingerprint),
+            ]);
+            rows.push(vec![
+                *alpha,
+                *gamma,
+                policy.revenue,
+                policy.eyal_sirer,
+                selfish_mining_relative_revenue(*alpha, *gamma),
+                gap,
+                (policy.fingerprint >> 32) as f64,
+                f64::from(policy.fingerprint as u32),
+                f64::from(u8::from(policy.converged)),
+            ]);
+        }
+        let path = write_csv(
+            &opts.results_dir,
+            "optimal_policy",
+            &[
+                "alpha",
+                "gamma",
+                "optimal_revenue",
+                "eyal_sirer_mdp",
+                "eyal_sirer_closed",
+                "gap",
+                "fingerprint_hi",
+                "fingerprint_lo",
+                "converged",
+            ],
+            &rows,
+        )?;
+        let _ = writeln!(
+            out,
+            "\nOptimal withholding vs the Eyal–Sirer heuristic, both evaluated exactly in\n\
+             the depth-{depth} fork MDP (Dinkelbach over relative revenue; `eyal_sirer_closed`\n\
+             is the untruncated closed form for reference). The gap is zero below the\n\
+             profitability threshold — the solver rediscovers honest mining — and grows\n\
+             with α.  csv: {}",
+            path.display()
+        );
+        out.push_str(&t.render());
+    }
+
+    // ---- Compounding-PoS attack ensembles ----------------------------
+    {
+        let summaries: Vec<_> = run_scenarios(ctx, &compound_specs(depth))?
+            .into_iter()
+            .map(|o| o.summary)
+            .collect();
+        // Row-major [protocol][alpha] like `compound_specs`.
+        let means: Vec<Vec<f64>> = summaries
+            .chunks(COMPOUND_ALPHAS.len())
+            .map(|chunk| chunk.iter().map(|s| s.final_point().mean).collect())
+            .collect();
+        // Per-protocol noise margin: 2.5 standard errors of the worst
+        // swept point, with std estimated from the 90% band (≈ 3.29 σ for
+        // a normal mean; monopolizing SL-PoS ensembles are wider still,
+        // which correctly demands more evidence of profitability).
+        let margins: Vec<f64> = summaries
+            .chunks(COMPOUND_ALPHAS.len())
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .map(|s| {
+                        let last = s.final_point();
+                        2.5 * ((last.p95 - last.p05) / 3.29) / (opts.repetitions as f64).sqrt()
+                    })
+                    .fold(MC_MARGIN_FLOOR, f64::max)
+            })
+            .collect();
+        let thresholds: Vec<f64> = means
+            .iter()
+            .zip(&margins)
+            .map(|(m, &margin)| empirical_threshold(&COMPOUND_ALPHAS, m, margin))
+            .collect();
+
+        let mut t = TextTable::new(vec![
+            "protocol",
+            "alpha",
+            "mc revenue",
+            "mdp optimal",
+            "gap vs pow",
+            "empirical threshold",
+        ]);
+        let mut rows = Vec::new();
+        for (pi, proto) in PROTOCOLS.iter().enumerate() {
+            for (ai, &alpha) in COMPOUND_ALPHAS.iter().enumerate() {
+                let mc = means[pi][ai];
+                let mdp = solve_optimal(alpha, GAMMA_COMPOUND, depth).revenue;
+                let gap_vs_pow = mc - means[0][ai];
+                t.row(vec![
+                    (*proto).to_owned(),
+                    fmt4(alpha),
+                    fmt4(mc),
+                    fmt4(mdp),
+                    fmt4(gap_vs_pow),
+                    fmt4(thresholds[pi]),
+                ]);
+                rows.push(vec![
+                    pi as f64,
+                    alpha,
+                    mc,
+                    mdp,
+                    selfish_mining_relative_revenue(alpha, GAMMA_COMPOUND),
+                    gap_vs_pow,
+                    thresholds[pi],
+                ]);
+            }
+        }
+        let path = write_csv(
+            &opts.results_dir,
+            "compounding_attack",
+            &[
+                "protocol",
+                "alpha",
+                "mc_revenue",
+                "mdp_revenue",
+                "eyal_sirer_closed",
+                "gap_vs_pow",
+                "threshold",
+            ],
+            &rows,
+        )?;
+        let _ = writeln!(
+            out,
+            "\nOptimal withholding (γ={GAMMA_COMPOUND}) played through the fork driver. PoW is the\n\
+             non-compounding baseline (its MC column cross-checks the MDP value); on\n\
+             ML-PoS and SL-PoS every settled attacker block compounds into selection\n\
+             weight, so realized revenue pulls ahead of the matched-α PoW run and the\n\
+             empirical profitability threshold (interpolated first crossing of\n\
+             revenue > α + noise margin; analytic PoW threshold at γ={GAMMA_COMPOUND}: {}) drops.  csv: {}",
+            fmt4(selfish_mining_threshold(GAMMA_COMPOUND)),
+            path.display()
+        );
+        out.push_str(&t.render());
+    }
+
+    // ---- Two-attacker best-response equilibria -----------------------
+    {
+        let eq_depth = depth.min(24);
+        let config = EquilibriumConfig {
+            gamma: GAMMA_COMPOUND,
+            depth: eq_depth,
+            max_rounds: 12,
+        };
+        let equilibria = ctx
+            .pool
+            .par_map(PAIRS.len(), |i| best_response_equilibrium(PAIRS[i], config));
+
+        let mut t = TextTable::new(vec![
+            "alpha (A, B)",
+            "effective (A, B)",
+            "revenue (A, B)",
+            "rounds",
+            "converged",
+        ]);
+        let mut rows = Vec::new();
+        for (pair, eq) in PAIRS.iter().zip(&equilibria) {
+            let solo = |a: f64| solve_optimal(a, GAMMA_COMPOUND, eq_depth).revenue;
+            t.row(vec![
+                format!("{}, {}", fmt4(pair[0]), fmt4(pair[1])),
+                format!("{}, {}", fmt4(eq.alpha_eff[0]), fmt4(eq.alpha_eff[1])),
+                format!("{}, {}", fmt4(eq.revenue[0]), fmt4(eq.revenue[1])),
+                eq.rounds.to_string(),
+                if eq.converged { "yes" } else { "no" }.to_owned(),
+            ]);
+            rows.push(vec![
+                pair[0],
+                pair[1],
+                eq.alpha_eff[0],
+                eq.alpha_eff[1],
+                eq.revenue[0],
+                eq.revenue[1],
+                eq.revenue[0] - solo(pair[0]),
+                eq.revenue[1] - solo(pair[1]),
+                f64::from(eq.rounds),
+                f64::from(u8::from(eq.converged)),
+            ]);
+        }
+        let path = write_csv(
+            &opts.results_dir,
+            "equilibrium",
+            &[
+                "alpha_a",
+                "alpha_b",
+                "alpha_eff_a",
+                "alpha_eff_b",
+                "revenue_a",
+                "revenue_b",
+                "amplification_a",
+                "amplification_b",
+                "rounds",
+                "converged",
+            ],
+            &rows,
+        )?;
+        let _ = writeln!(
+            out,
+            "\nIterated best response between two strategic withholders (depth {eq_depth}).\n\
+             Each attacker solves her fork MDP against a network whose throughput is\n\
+             thinned by the frozen opponent's withholding, so effective shares exceed\n\
+             raw shares and the `amplification` columns report the revenue gained over\n\
+             playing the same policy alone.  csv: {}",
+            path.display()
+        );
+        out.push_str(&t.render());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::tiny_service;
+    use super::*;
+
+    #[test]
+    fn optimal_runs_small() {
+        let h = tiny_service("optimal");
+        let out = optimal(&h.session()).expect("optimal");
+        assert!(out.contains("Optimal withholding vs the Eyal–Sirer heuristic"));
+        assert!(out.contains("best response between two strategic withholders"));
+        // Only the compounding sweep uses ensembles: 3 protocols × 6 α.
+        assert_eq!(
+            h.cache().misses(),
+            (PROTOCOLS.len() * COMPOUND_ALPHAS.len()) as u64
+        );
+    }
+
+    #[test]
+    fn optimal_dominates_eyal_sirer_on_the_whole_grid() {
+        // The acceptance criterion, at the unit-test depth tier: the
+        // solved policy is never worse than the Eyal–Sirer policy in the
+        // same MDP, at every grid point.
+        for &gamma in &GAMMAS {
+            for &alpha in &ALPHAS {
+                let s = solve_optimal(alpha, gamma, mdp_depth(60));
+                assert!(
+                    s.revenue >= s.eyal_sirer - 1e-12,
+                    "({alpha}, {gamma}): {} < {}",
+                    s.revenue,
+                    s.eyal_sirer
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_interpolation_is_degenerate_safe() {
+        // Crossing between 0.25 (gap −0.01) and 0.30 (gap +0.01): midpoint.
+        let t = empirical_threshold(&[0.20, 0.25, 0.30], &[0.18, 0.24, 0.31], 0.0);
+        assert!((t - 0.275).abs() < 1e-12, "got {t}");
+        // Profitable from the start: first grid point.
+        assert_eq!(empirical_threshold(&[0.20, 0.30], &[0.25, 0.35], 0.0), 0.20);
+        // Never profitable: capped at 0.5.
+        assert_eq!(empirical_threshold(&[0.20, 0.30], &[0.10, 0.20], 0.0), 0.5);
+        // Empty grid: capped.
+        assert_eq!(empirical_threshold(&[], &[], 0.0), 0.5);
+        // Exactly-flat gap across the crossing does not divide by zero.
+        let flat = empirical_threshold(&[0.20, 0.30], &[0.21, 0.31], 0.0);
+        assert!(flat.is_finite());
+        // The margin suppresses noise-level "profitability": a break-even
+        // estimate a few 1e-4 above α is not a crossing.
+        let noisy = empirical_threshold(
+            &[0.15, 0.20, 0.25],
+            &[0.1504, 0.2002, 0.2586],
+            MC_MARGIN_FLOOR,
+        );
+        assert!(noisy > 0.20, "margin must absorb MC noise, got {noisy}");
+    }
+
+    #[test]
+    fn depth_tiers_are_monotone() {
+        assert_eq!(mdp_depth(60), 8);
+        assert_eq!(mdp_depth(1000), 24);
+        assert_eq!(mdp_depth(10_000), 48);
+    }
+}

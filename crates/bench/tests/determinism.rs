@@ -236,3 +236,84 @@ fn subset_runs_match_full_runs_bytewise() {
 
     let _ = std::fs::remove_dir_all(&base);
 }
+
+#[test]
+fn optimal_scenario_file_is_jobs_deterministic() {
+    // examples/optimal.scn drives OptimalWithholding and BestResponse
+    // through the text parser; like every `.scn` run the CSVs must be
+    // byte-identical for any `--jobs` level.
+    let file = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/optimal.scn");
+    let text = std::fs::read_to_string(file).expect("examples/optimal.scn exists");
+    let mut specs = parse_scenarios(&text).expect("example file parses");
+    assert!(specs.len() >= 3, "example file should sweep several points");
+    assert!(
+        specs.iter().any(|s| s.name.contains("best-response")),
+        "example exercises the equilibrium strategy"
+    );
+    for spec in &mut specs {
+        spec.repetitions = Some(25);
+    }
+
+    let base = std::env::temp_dir().join("fairness-bench-scn-optimal");
+    let _ = std::fs::remove_dir_all(&base);
+    let mut snapshots = Vec::new();
+    for jobs in [1usize, 4] {
+        let dir = base.join(format!("jobs{jobs}"));
+        let harness = SweepService::new(opts(&dir, jobs));
+        let report = scenario_report(&harness.session(), &specs).expect("scenario run");
+        assert!(report.contains("optimal"), "report names the scenarios");
+        snapshots.push(csv_snapshot(&dir));
+    }
+    let (snap1, snap4) = (&snapshots[0], &snapshots[1]);
+    assert!(!snap1.is_empty(), "scenario run wrote no CSVs");
+    for (name, bytes) in snap1 {
+        assert_eq!(
+            bytes, &snap4[name],
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn optimal_scenario_parameters_are_validated() {
+    // Duplicate parameters die in the parser with a line-numbered error...
+    let duplicated = r#"
+scenario "dup" {
+  protocol = adversary(inner = pow(w = 0.01),
+                       strategy = optimal-withholding(alpha = 0.3, alpha = 0.4))
+  shares = [0.3, 0.7]
+  checkpoints = linear(100, 2)
+}
+"#;
+    let err = parse_scenarios(duplicated).expect_err("duplicate alpha must not parse");
+    assert!(
+        err.to_string().contains("duplicate parameter `alpha`"),
+        "unexpected parser error: {err}"
+    );
+
+    // ...while range violations parse fine and die in the registry with
+    // the offending parameter named.
+    for (body, needle) in [
+        ("optimal-withholding(alpha = 0.7)", "alpha"),
+        ("optimal-withholding(alpha = 0.3, depth = 1)", "depth"),
+        ("optimal-withholding(alpha = 0.3, depth = 1e9)", "depth"),
+        (
+            "best-response(alpha = 0.4, opponent = 0.45, gamma = 2)",
+            "gamma",
+        ),
+    ] {
+        let text = format!(
+            "scenario \"bad\" {{\n  protocol = adversary(inner = pow(w = 0.01),\n\
+             \x20                      strategy = {body})\n  shares = [0.3, 0.7]\n\
+             \x20 checkpoints = linear(100, 2)\n}}\n"
+        );
+        let specs = parse_scenarios(&text).expect("range errors are not syntax errors");
+        let err = fairness_core::registry::construct(&specs[0].protocol, &[0.3, 0.7])
+            .expect_err("out-of-range spec must not construct");
+        assert!(
+            err.to_string().contains(needle),
+            "error for `{body}` should name `{needle}`: {err}"
+        );
+    }
+}

@@ -577,4 +577,23 @@ mod tests {
         let mut sim = ForkNetSim::new(config, Honest);
         sim.step_block(&mut rng);
     }
+
+    #[test]
+    fn zero_height_and_zero_rate_fractions_are_finite() {
+        // Degenerate regression: a sim that has settled nothing (and one
+        // whose attacker has zero hash rate) must report exactly 0.0, not
+        // NaN, so downstream CSVs stay well-formed.
+        let fresh = ForkNetSim::new(pow_config(vec![4, 6], 6), SelfishMining::new(0.5));
+        assert_eq!(fresh.settled_height(), 0);
+        assert_eq!(fresh.win_fraction(0), 0.0);
+        assert_eq!(fresh.relative_revenue(), 0.0);
+
+        let mut rng = Xoshiro256StarStar::new(9);
+        let mut sim = ForkNetSim::new(pow_config(vec![0, 10], 6), SelfishMining::new(0.5));
+        sim.run_blocks(200, &mut rng);
+        sim.finalize();
+        let r = sim.relative_revenue();
+        assert!(r.is_finite());
+        assert_eq!(r, 0.0, "powerless attacker can settle nothing");
+    }
 }

@@ -847,4 +847,33 @@ mod tests {
         assert_eq!(m.machine.state().private, 0);
         assert_eq!(m.machine.settled_len(), 0);
     }
+
+    #[test]
+    fn zero_attacker_fork_game_stays_finite() {
+        // Degenerate-α regression: with no attacker wins every derived
+        // quantity must be exactly 0.0 — never NaN from a 0/0 — so CSV
+        // sweeps that include α = 0 stay well-formed.
+        assert_eq!(RevenueTally::default().relative_revenue(), 0.0);
+
+        let mut rng = Xoshiro256StarStar::new(7);
+        let tally = run_fork_game(&SelfishMining::new(0.5), 0.0, 10_000, &mut rng);
+        assert_eq!(tally.attacker, 0);
+        assert_eq!(tally.relative_revenue(), 0.0);
+        assert!(tally.relative_revenue().is_finite());
+    }
+
+    #[test]
+    fn near_zero_alpha_fork_game_stays_finite() {
+        // α small enough that most runs see zero attacker blocks: the
+        // revenue must stay finite and near zero, and a run of length zero
+        // must not divide by its empty chain.
+        let mut rng = Xoshiro256StarStar::new(8);
+        let tally = run_fork_game(&SelfishMining::new(0.5), 1e-9, 10_000, &mut rng);
+        assert!(tally.relative_revenue().is_finite());
+        assert!(tally.relative_revenue() <= 1e-3);
+
+        let mut rng = Xoshiro256StarStar::new(9);
+        let empty = run_fork_game(&SelfishMining::new(0.5), 0.25, 0, &mut rng);
+        assert_eq!(empty.relative_revenue(), 0.0);
+    }
 }

@@ -48,6 +48,7 @@ pub mod decentralization;
 pub mod fairness;
 pub mod game;
 pub mod ledger;
+pub mod mdp;
 pub mod miner;
 pub mod montecarlo;
 pub mod protocol;
@@ -71,6 +72,10 @@ pub use fairness::{
 };
 pub use game::MiningGame;
 pub use ledger::{AggregatedTailGame, StakeLedger, TailKernel};
+pub use mdp::{
+    best_response_equilibrium, solve_optimal, BestResponse, Equilibrium, EquilibriumConfig,
+    OptimalWithholding, SolvedPolicy,
+};
 pub use montecarlo::{
     run_ensemble, run_ensemble_multi, summarize, BandPoint, EnsembleConfig, EnsembleSummary,
 };
@@ -95,6 +100,10 @@ pub mod prelude {
     pub use crate::fairness::{equitability, unfair_probability, EpsilonDelta, FairnessVerdict};
     pub use crate::game::MiningGame;
     pub use crate::ledger::{AggregatedTailGame, StakeLedger, TailKernel};
+    pub use crate::mdp::{
+        best_response_equilibrium, solve_optimal, BestResponse, Equilibrium, EquilibriumConfig,
+        OptimalWithholding, SolvedPolicy,
+    };
     pub use crate::miner::{equal_shares, paper_multi_miner, two_miner, zipf_shares};
     pub use crate::montecarlo::{
         run_ensemble, run_ensemble_multi, BandPoint, EnsembleConfig, EnsembleSummary,

@@ -1,0 +1,494 @@
+//! Generic finite-MDP representation and average-reward solvers.
+//!
+//! The machinery is deliberately small and deterministic: a sparse
+//! transition table built once ([`MdpBuilder`] → [`Mdp`]), relative value
+//! iteration with span-seminorm stopping ([`ValueIteration`]), and a
+//! Dinkelbach outer loop ([`solve_ratio`]) for ratio-of-gains objectives
+//! such as selfish-mining *relative revenue*. Everything runs
+//! single-threaded over plain `f64` in a fixed order, so solved policies
+//! and values are byte-stable across runs, machines and `--jobs` levels.
+//!
+//! Rewards carry [`CHANNELS`] parallel channels per transition. For the
+//! fork MDP these are *(attacker-settled, total-settled)* block counts;
+//! the ratio objective `gain₀ / gain₁` is then exactly the Eyal–Sirer
+//! relative revenue.
+
+/// Number of parallel reward channels carried per transition.
+pub const CHANNELS: usize = 2;
+
+/// One probabilistic outcome of taking an action in a state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Destination state index.
+    pub next: usize,
+    /// Probability of this outcome (outcomes of one action sum to 1).
+    pub prob: f64,
+    /// Reward accrued on this outcome, per channel.
+    pub reward: [f64; CHANNELS],
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    next: u32,
+    prob: f64,
+    reward: [f64; CHANNELS],
+}
+
+/// Sparse-transition builder for an [`Mdp`]: declare the state count up
+/// front, then add each state's actions in enumeration order.
+#[derive(Debug)]
+pub struct MdpBuilder {
+    num_states: usize,
+    /// Per state: list of `(action id, arc range into `arcs`)`.
+    actions: Vec<Vec<(u8, u32, u32)>>,
+    arcs: Vec<Arc>,
+}
+
+impl MdpBuilder {
+    /// Starts a builder for `num_states` states.
+    #[must_use]
+    pub fn new(num_states: usize) -> Self {
+        Self {
+            num_states,
+            actions: vec![Vec::new(); num_states],
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Adds an action (with caller-chosen `action` id, kept for policy
+    /// rendering) to `state`. Listing order is the deterministic
+    /// tie-break order: when two actions achieve exactly equal value the
+    /// *first listed* wins, so extracted policies are byte-stable.
+    ///
+    /// # Panics
+    /// Panics if `state` or any destination is out of range, a
+    /// probability is not in `[0, 1]`, or the probabilities do not sum
+    /// to 1 within `1e-9`.
+    pub fn add_action(&mut self, state: usize, action: u8, transitions: &[Transition]) {
+        assert!(state < self.num_states, "state {state} out of range");
+        assert!(!transitions.is_empty(), "action needs at least one outcome");
+        let start = self.arcs.len() as u32;
+        let mut total = 0.0f64;
+        for t in transitions {
+            assert!(
+                t.next < self.num_states,
+                "destination {} out of range",
+                t.next
+            );
+            assert!(
+                t.prob >= 0.0 && t.prob <= 1.0,
+                "probability {} out of [0, 1]",
+                t.prob
+            );
+            total += t.prob;
+            self.arcs.push(Arc {
+                next: t.next as u32,
+                prob: t.prob,
+                reward: t.reward,
+            });
+        }
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "action probabilities sum to {total}, not 1"
+        );
+        let len = self.arcs.len() as u32 - start;
+        self.actions[state].push((action, start, len));
+    }
+
+    /// Finalizes the MDP.
+    ///
+    /// # Panics
+    /// Panics if any state has no action.
+    #[must_use]
+    pub fn build(self) -> Mdp {
+        let mut state_actions = Vec::with_capacity(self.num_states);
+        let mut action_ids = Vec::new();
+        let mut action_arcs = Vec::new();
+        for (s, list) in self.actions.iter().enumerate() {
+            assert!(!list.is_empty(), "state {s} has no action");
+            state_actions.push((action_ids.len() as u32, list.len() as u32));
+            for &(id, start, len) in list {
+                action_ids.push(id);
+                action_arcs.push((start, len));
+            }
+        }
+        Mdp {
+            state_actions,
+            action_ids,
+            action_arcs,
+            arcs: self.arcs,
+        }
+    }
+}
+
+/// A finite MDP with sparse transitions and [`CHANNELS`] reward channels.
+#[derive(Debug)]
+pub struct Mdp {
+    /// Per state: `(first action, action count)` into the action arrays.
+    state_actions: Vec<(u32, u32)>,
+    action_ids: Vec<u8>,
+    action_arcs: Vec<(u32, u32)>,
+    arcs: Vec<Arc>,
+}
+
+impl Mdp {
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.state_actions.len()
+    }
+
+    /// Number of actions available in `state`.
+    #[must_use]
+    pub fn num_actions(&self, state: usize) -> usize {
+        self.state_actions[state].1 as usize
+    }
+
+    /// The caller-chosen id of `state`'s `choice`-th action.
+    #[must_use]
+    pub fn action_id(&self, state: usize, choice: usize) -> u8 {
+        let (start, len) = self.state_actions[state];
+        assert!((choice as u32) < len, "choice {choice} out of range");
+        self.action_ids[start as usize + choice]
+    }
+
+    /// Expected one-step value of `state`'s `choice`-th action under
+    /// weighted rewards plus continuation values `v`.
+    fn q_value(&self, state: usize, choice: usize, weights: [f64; CHANNELS], v: &[f64]) -> f64 {
+        let (start, _) = self.state_actions[state];
+        let (arc_start, arc_len) = self.action_arcs[start as usize + choice];
+        let mut q = 0.0;
+        for arc in &self.arcs[arc_start as usize..(arc_start + arc_len) as usize] {
+            let r = weights[0] * arc.reward[0] + weights[1] * arc.reward[1];
+            q += arc.prob * (r + v[arc.next as usize]);
+        }
+        q
+    }
+}
+
+/// Result of one average-reward solve.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Long-run average weighted reward per step (unichain gain).
+    pub gain: f64,
+    /// Greedy policy: per state, the *position* of the chosen action in
+    /// that state's listing order (ties broken toward the first listed).
+    pub policy: Vec<u8>,
+    /// Value-iteration sweeps performed.
+    pub sweeps: u32,
+    /// Whether the span-seminorm stopping rule was met within the sweep
+    /// budget.
+    pub converged: bool,
+}
+
+/// Relative value iteration for average-reward (unichain) MDPs with
+/// span-seminorm stopping: iterate `v ← Tv − (Tv)(s₀)` until
+/// `span(Tv − v) < ε`, at which point the gain is bracketed by
+/// `[min, max]` of the per-state differences.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueIteration {
+    /// Span-seminorm stopping threshold.
+    pub epsilon: f64,
+    /// Sweep budget; exceeding it returns `converged = false`.
+    pub max_sweeps: u32,
+}
+
+impl Default for ValueIteration {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-10,
+            max_sweeps: 200_000,
+        }
+    }
+}
+
+/// Aperiodicity-transformation weight: each sweep applies
+/// `v ← τ·v + (1−τ)·Tv`, equivalent to solving the MDP with transitions
+/// `τI + (1−τ)P` and rewards `(1−τ)r`. The transform leaves optimal
+/// policies (and exact-tie ordering) unchanged, scales the gain by
+/// `1−τ` (undone before reporting), and guarantees span convergence even
+/// on periodic chains.
+const TAU: f64 = 0.05;
+
+impl ValueIteration {
+    /// Solves `max_π avg(weights · reward)` by relative value iteration.
+    /// `v` is the value vector, kept across calls as a warm start (it is
+    /// resized and zeroed only when its length does not match).
+    #[must_use]
+    pub fn solve(&self, mdp: &Mdp, weights: [f64; CHANNELS], v: &mut Vec<f64>) -> Solution {
+        self.run(mdp, weights, v, None)
+    }
+
+    /// Computes the average weighted reward of a *fixed* policy (given as
+    /// per-state action positions) by the same iteration without the max.
+    #[must_use]
+    pub fn evaluate(
+        &self,
+        mdp: &Mdp,
+        policy: &[u8],
+        weights: [f64; CHANNELS],
+        v: &mut Vec<f64>,
+    ) -> Solution {
+        self.run(mdp, weights, v, Some(policy))
+    }
+
+    fn run(
+        &self,
+        mdp: &Mdp,
+        weights: [f64; CHANNELS],
+        v: &mut Vec<f64>,
+        fixed: Option<&[u8]>,
+    ) -> Solution {
+        let n = mdp.num_states();
+        assert!(n > 0, "empty MDP");
+        if v.len() != n {
+            v.clear();
+            v.resize(n, 0.0);
+        }
+        let mut next = vec![0.0f64; n];
+        let mut policy = vec![0u8; n];
+        let mut gain = 0.0;
+        let mut converged = false;
+        let mut sweeps = 0;
+        while sweeps < self.max_sweeps {
+            sweeps += 1;
+            for s in 0..n {
+                let best = match fixed {
+                    Some(p) => {
+                        policy[s] = p[s];
+                        mdp.q_value(s, p[s] as usize, weights, v)
+                    }
+                    None => {
+                        let count = mdp.num_actions(s);
+                        let mut best = mdp.q_value(s, 0, weights, v);
+                        let mut best_choice = 0u8;
+                        for c in 1..count {
+                            let q = mdp.q_value(s, c, weights, v);
+                            // Strict `>`: exact ties keep the first-listed
+                            // action, making extracted policies byte-stable.
+                            if q > best {
+                                best = q;
+                                best_choice = c as u8;
+                            }
+                        }
+                        policy[s] = best_choice;
+                        best
+                    }
+                };
+                next[s] = TAU * v[s] + (1.0 - TAU) * best;
+            }
+            let mut lo = next[0] - v[0];
+            let mut hi = lo;
+            for s in 1..n {
+                let d = next[s] - v[s];
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+            gain = 0.5 * (lo + hi) / (1.0 - TAU);
+            // Normalize at the reference state so values stay bounded.
+            let offset = next[0];
+            for s in 0..n {
+                v[s] = next[s] - offset;
+            }
+            if hi - lo < self.epsilon {
+                converged = true;
+                break;
+            }
+        }
+        Solution {
+            gain,
+            policy,
+            sweeps,
+            converged,
+        }
+    }
+}
+
+/// Result of a [`solve_ratio`] Dinkelbach solve.
+#[derive(Debug, Clone)]
+pub struct RatioSolution {
+    /// The optimized ratio `gain₀ / gain₁`.
+    pub ratio: f64,
+    /// Per-channel gains of the final policy.
+    pub gains: [f64; CHANNELS],
+    /// The optimizing policy (per-state action positions).
+    pub policy: Vec<u8>,
+    /// Dinkelbach rounds performed.
+    pub rounds: u32,
+    /// Whether the ratio reached a fixed point (and every inner solve
+    /// converged) within the round budget.
+    pub converged: bool,
+}
+
+/// Maximizes the ratio of channel gains `gain₀(π) / gain₁(π)` over
+/// policies by Dinkelbach iteration: repeatedly solve the average-reward
+/// MDP with weighted reward `r₀ − ρ·r₁`, re-evaluate the greedy policy's
+/// channel gains, and update `ρ ← gain₀/gain₁` until the fixed point.
+///
+/// Requires `gain₁(π) > 0` for every policy (every policy keeps settling
+/// rewards on channel 1) — the fork MDP's truncation closure guarantees
+/// it. Seeding with the ratio of a known policy guarantees the result is
+/// at least that policy's ratio (each Dinkelbach round is monotone).
+#[must_use]
+pub fn solve_ratio(
+    mdp: &Mdp,
+    vi: &ValueIteration,
+    initial_ratio: f64,
+    max_rounds: u32,
+) -> RatioSolution {
+    let mut ratio = initial_ratio;
+    let mut v = Vec::new();
+    let mut v0 = Vec::new();
+    let mut v1 = Vec::new();
+    let mut best = None;
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < max_rounds {
+        rounds += 1;
+        let sol = vi.solve(mdp, [1.0, -ratio], &mut v);
+        let g0 = vi.evaluate(mdp, &sol.policy, [1.0, 0.0], &mut v0);
+        let g1 = vi.evaluate(mdp, &sol.policy, [0.0, 1.0], &mut v1);
+        let inner_ok = sol.converged && g0.converged && g1.converged;
+        let new_ratio = if g1.gain > 0.0 {
+            g0.gain / g1.gain
+        } else {
+            0.0
+        };
+        best = Some(RatioSolution {
+            ratio: new_ratio,
+            gains: [g0.gain, g1.gain],
+            policy: sol.policy,
+            rounds,
+            converged: false,
+        });
+        // Fixed-point threshold one order above the inner VI epsilon:
+        // numerically tied policies can leave the ratio oscillating at the
+        // ~1e-10 level forever, so demanding more precision than the inner
+        // solves deliver would spin the round budget without converging.
+        if (new_ratio - ratio).abs() < 1e-9 {
+            converged = inner_ok;
+            break;
+        }
+        ratio = new_ratio;
+    }
+    let mut out = best.expect("at least one Dinkelbach round");
+    out.rounds = rounds;
+    out.converged = converged;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-state chain where action 1 in state 0 trades channel-0 reward
+    /// for channel-1 cost.
+    fn toy() -> Mdp {
+        let mut b = MdpBuilder::new(2);
+        // State 0: stay (r = [1, 1]) or jump (r = [3, 4]).
+        b.add_action(
+            0,
+            0,
+            &[Transition {
+                next: 0,
+                prob: 1.0,
+                reward: [1.0, 1.0],
+            }],
+        );
+        b.add_action(
+            0,
+            1,
+            &[Transition {
+                next: 1,
+                prob: 1.0,
+                reward: [3.0, 4.0],
+            }],
+        );
+        // State 1: return.
+        b.add_action(
+            1,
+            0,
+            &[Transition {
+                next: 0,
+                prob: 1.0,
+                reward: [0.0, 1.0],
+            }],
+        );
+        b.build()
+    }
+
+    #[test]
+    fn weighted_solve_picks_the_better_loop() {
+        // Weighted reward = channel 0 only: staying earns 1/step, the
+        // round trip earns 3 per 2 steps = 1.5/step.
+        let mdp = toy();
+        let vi = ValueIteration::default();
+        let sol = vi.solve(&mdp, [1.0, 0.0], &mut Vec::new());
+        assert!(sol.converged);
+        assert!((sol.gain - 1.5).abs() < 1e-8, "gain {}", sol.gain);
+        assert_eq!(sol.policy[0], 1, "jump is optimal");
+    }
+
+    #[test]
+    fn ratio_solve_maximizes_the_quotient() {
+        // Stay: ratio 1/1 = 1. Round trip: (3+0)/(4+1) = 0.6. The ratio
+        // objective prefers staying even though channel 0 alone prefers
+        // the round trip.
+        let mdp = toy();
+        let sol = solve_ratio(&mdp, &ValueIteration::default(), 0.0, 50);
+        assert!(sol.converged);
+        assert!((sol.ratio - 1.0).abs() < 1e-8, "ratio {}", sol.ratio);
+        assert_eq!(sol.policy[0], 0, "staying maximizes the ratio");
+    }
+
+    #[test]
+    fn evaluate_fixed_policy_gains() {
+        let mdp = toy();
+        let vi = ValueIteration::default();
+        let jump = vec![1u8, 0u8];
+        let g0 = vi.evaluate(&mdp, &jump, [1.0, 0.0], &mut Vec::new());
+        let g1 = vi.evaluate(&mdp, &jump, [0.0, 1.0], &mut Vec::new());
+        assert!((g0.gain - 1.5).abs() < 1e-8);
+        assert!((g1.gain - 2.5).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ties_break_toward_the_first_listed_action() {
+        let mut b = MdpBuilder::new(1);
+        for id in 0..3u8 {
+            b.add_action(
+                0,
+                id,
+                &[Transition {
+                    next: 0,
+                    prob: 1.0,
+                    reward: [2.0, 0.0],
+                }],
+            );
+        }
+        let mdp = b.build();
+        let sol = ValueIteration::default().solve(&mdp, [1.0, 0.0], &mut Vec::new());
+        assert_eq!(sol.policy[0], 0, "exact ties must keep the first action");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn builder_rejects_leaky_probabilities() {
+        let mut b = MdpBuilder::new(1);
+        b.add_action(
+            0,
+            0,
+            &[Transition {
+                next: 0,
+                prob: 0.5,
+                reward: [0.0; 2],
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no action")]
+    fn builder_rejects_actionless_states() {
+        let _ = MdpBuilder::new(1).build();
+    }
+}

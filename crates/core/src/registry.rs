@@ -17,6 +17,7 @@
 use crate::adversary::{
     Adversary, ForkAction, ForkEvent, ForkState, Honest, SelfishMining, StakeGrinding, Strategy,
 };
+use crate::mdp::{BestResponse, EquilibriumConfig, OptimalWithholding};
 use crate::protocol::{IncentiveProtocol, StepOutcome, StepRewards};
 use crate::protocols::{Algorand, CPos, Eos, FslPos, MlPos, Neo, Pow, SlPos};
 use crate::redistribution::{Alleviation, ClusterTax, FeeLottery, Sybil, SybilSplit};
@@ -927,6 +928,94 @@ static STRATEGIES: &[StrategyEntry] = &[
             Ok(BoxedStrategy::new(SybilSplit::new(identities as u32)))
         },
     },
+    StrategyEntry {
+        name: "optimal-withholding",
+        summary: "MDP-optimal block withholding: plays the value-iteration policy of the truncated fork MDP at the attacker's share",
+        params: &[
+            required(
+                "alpha",
+                ParamKind::Number,
+                "attacker's mining/stake share, in (0, 0.5]",
+            ),
+            num("gamma", 0.0, "tie-break parameter in [0, 1]"),
+            num("depth", 64.0, "fork-MDP truncation depth, integer in [2, 512]"),
+        ],
+        construct: |args| {
+            let alpha = args.number("alpha")?;
+            if !(alpha > 0.0 && alpha <= 0.5) {
+                return Err(args.bad("alpha", format!("must be in (0, 0.5], got {alpha}")));
+            }
+            let gamma = args.number("gamma")?;
+            if !(0.0..=1.0).contains(&gamma) {
+                return Err(args.bad("gamma", format!("must be in [0, 1], got {gamma}")));
+            }
+            let depth = args.index("depth")?;
+            if !(2..=512).contains(&depth) {
+                return Err(args.bad("depth", format!("must be in [2, 512], got {depth}")));
+            }
+            Ok(BoxedStrategy::new(OptimalWithholding::new(
+                alpha,
+                gamma,
+                depth as u32,
+            )))
+        },
+    },
+    StrategyEntry {
+        name: "best-response",
+        summary: "two-attacker equilibrium play: iterated optimal-withholding best responses against a frozen opponent",
+        params: &[
+            required(
+                "alpha",
+                ParamKind::Number,
+                "this attacker's share, in (0, 0.5]",
+            ),
+            required(
+                "opponent",
+                ParamKind::Number,
+                "the rival attacker's share; alpha + opponent must stay below 1",
+            ),
+            num("gamma", 0.0, "tie-break parameter in [0, 1]"),
+            num("depth", 48.0, "fork-MDP truncation depth, integer in [2, 512]"),
+            num("rounds", 12.0, "best-response iteration budget, integer in [1, 64]"),
+        ],
+        construct: |args| {
+            let alpha = args.number("alpha")?;
+            if !(alpha > 0.0 && alpha <= 0.5) {
+                return Err(args.bad("alpha", format!("must be in (0, 0.5], got {alpha}")));
+            }
+            let opponent = args.number("opponent")?;
+            if !(opponent > 0.0 && opponent <= 0.5) {
+                return Err(args.bad("opponent", format!("must be in (0, 0.5], got {opponent}")));
+            }
+            if alpha + opponent >= 1.0 {
+                return Err(args.bad(
+                    "opponent",
+                    format!("alpha + opponent must stay below 1, got {}", alpha + opponent),
+                ));
+            }
+            let gamma = args.number("gamma")?;
+            if !(0.0..=1.0).contains(&gamma) {
+                return Err(args.bad("gamma", format!("must be in [0, 1], got {gamma}")));
+            }
+            let depth = args.index("depth")?;
+            if !(2..=512).contains(&depth) {
+                return Err(args.bad("depth", format!("must be in [2, 512], got {depth}")));
+            }
+            let rounds = args.index("rounds")?;
+            if !(1..=64).contains(&rounds) {
+                return Err(args.bad("rounds", format!("must be in [1, 64], got {rounds}")));
+            }
+            Ok(BoxedStrategy::new(BestResponse::new(
+                alpha,
+                opponent,
+                EquilibriumConfig {
+                    gamma,
+                    depth: depth as u32,
+                    max_rounds: rounds as u32,
+                },
+            )))
+        },
+    },
 ];
 
 /// Every registered protocol, in listing order.
@@ -1141,5 +1230,85 @@ mod tests {
             "adversary(inner = <spec>, strategy = <spec>)"
         );
         assert_eq!(strategies()[1].signature(), "selfish-mining(gamma = 0)");
+    }
+
+    /// Listing-count pin: adding (or dropping) a registry entry must be a
+    /// conscious act — update this count together with the README and the
+    /// `repro list` output.
+    #[test]
+    fn registry_listing_counts_are_pinned() {
+        assert_eq!(registry().len(), 15, "protocol count changed");
+        assert_eq!(strategies().len(), 6, "strategy count changed");
+        let names: Vec<_> = strategies().iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "honest",
+                "selfish-mining",
+                "stake-grinding",
+                "sybil-split",
+                "optimal-withholding",
+                "best-response",
+            ]
+        );
+        assert_eq!(
+            strategies()[4].signature(),
+            "optimal-withholding(alpha, gamma = 0, depth = 64)"
+        );
+    }
+
+    /// The new strategies construct through specs and reject out-of-range
+    /// or duplicated parameters with named errors.
+    #[test]
+    fn optimal_strategies_validate_their_parameters() {
+        let ok = construct_strategy(
+            &ProtocolSpec::new("optimal-withholding")
+                .with("alpha", 0.3)
+                .with("depth", 8.0),
+        )
+        .expect("in-range spec must construct");
+        assert_eq!(ok.name(), "optimal-withholding");
+
+        for (spec, needle) in [
+            (
+                ProtocolSpec::new("optimal-withholding").with("alpha", 0.7),
+                "alpha",
+            ),
+            (
+                ProtocolSpec::new("optimal-withholding")
+                    .with("alpha", 0.3)
+                    .with("depth", 1.0),
+                "depth",
+            ),
+            (
+                ProtocolSpec::new("optimal-withholding")
+                    .with("alpha", 0.3)
+                    .with("gamma", 1.5),
+                "gamma",
+            ),
+            (
+                ProtocolSpec::new("best-response")
+                    .with("alpha", 0.5)
+                    .with("opponent", 0.5),
+                "opponent",
+            ),
+            (
+                ProtocolSpec::new("best-response")
+                    .with("alpha", 0.3)
+                    .with("opponent", 0.2)
+                    .with("rounds", 0.0),
+                "rounds",
+            ),
+        ] {
+            let err = construct_strategy(&spec).expect_err("out-of-range spec must fail");
+            assert!(
+                err.to_string().contains(needle),
+                "error for {needle} was: {err}"
+            );
+        }
+
+        let missing = construct_strategy(&ProtocolSpec::new("optimal-withholding"))
+            .expect_err("alpha is required");
+        assert!(missing.to_string().contains("alpha"), "{missing}");
     }
 }

@@ -304,6 +304,15 @@ pub mod cpos {
     }
 }
 
+/// Adversarial closed forms (outside the paper's Assumption 4): the
+/// Eyal–Sirer selfish-mining laws the fork drivers and the
+/// [`crate::mdp`] value-iteration engine are validated against.
+pub mod selfish {
+    pub use fairness_stats::dist::{
+        selfish_mining_relative_revenue, selfish_mining_threshold, stake_grinding_win_probability,
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

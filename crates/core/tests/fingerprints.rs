@@ -231,6 +231,16 @@ fn every_registry_strategy_constructs_and_matches_the_pinned_snapshots() {
             ProtocolSpec::new("sl-pos").with("w", 0.01),
             0xB326_F6B0_8C96_EBB7,
         ),
+        (
+            "optimal-withholding",
+            ProtocolSpec::new("pow").with("w", 0.01),
+            0x1B79_1FC2_5FAF_D6A7,
+        ),
+        (
+            "best-response",
+            ProtocolSpec::new("pow").with("w", 0.01),
+            0xA391_E6EA_3735_B246,
+        ),
     ];
     let registered: Vec<&str> = registry::strategies().iter().map(|e| e.name).collect();
     let snapshot: Vec<&str> = pinned.iter().map(|(n, _, _)| *n).collect();
@@ -240,6 +250,14 @@ fn every_registry_strategy_constructs_and_matches_the_pinned_snapshots() {
             "selfish-mining" => ProtocolSpec::new(*name).with("gamma", 0.5),
             "stake-grinding" => ProtocolSpec::new(*name).with("tries", 4.0),
             "sybil-split" => ProtocolSpec::new(*name).with("identities", 10.0),
+            "optimal-withholding" => ProtocolSpec::new(*name)
+                .with("alpha", 0.3)
+                .with("gamma", 0.5)
+                .with("depth", 8.0),
+            "best-response" => ProtocolSpec::new(*name)
+                .with("alpha", 0.3)
+                .with("opponent", 0.2)
+                .with("depth", 8.0),
             _ => ProtocolSpec::new(*name),
         };
         let spec = ProtocolSpec::new("adversary")
